@@ -1,0 +1,56 @@
+// Figure 10: MLPerf v0.7 end-to-end minutes — simulated TPU-v3 multipod vs
+// NVIDIA's published A100/V100 submissions (and our GPU cluster model at the
+// same scales, to show the model reproduces the published ordering).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/multipod.h"
+#include "gpu/gpu_cluster.h"
+#include "models/model_specs.h"
+
+int main() {
+  using namespace tpu;
+  bench::Header("Figure 10 — MLPerf v0.7 end-to-end minutes, TPU vs GPU",
+                "Kumar et al., MLSys 2021, Figure 10");
+  bench::Row("%-12s | %7s %9s | %9s %9s %9s | %9s %9s", "benchmark",
+             "TPUchips", "TPU(min)", "A100 n", "A100 pub", "A100 sim",
+             "V100 pub", "V100 sim");
+
+  for (models::Benchmark b : models::AllBenchmarks()) {
+    const auto scale = models::GetSubmissionScale(b);
+    core::MultipodSystem system(scale.chips);
+    const auto tpu =
+        system.SimulateSubmission(b, frameworks::Framework::kTensorFlow);
+
+    const auto& spec = models::GetModelSpec(b);
+    const auto published = gpu::NvidiaV07Results(b);
+    double a100_pub = 0, v100_pub = 0, a100_sim = 0, v100_sim = 0;
+    int a100_n = 0;
+    for (const auto& r : published) {
+      // Use each system's published scale, capped at the model's batch wall.
+      const std::int64_t batch =
+          std::min<std::int64_t>(spec.max_global_batch,
+                                 std::max<std::int64_t>(r.accelerators,
+                                                        scale.global_batch));
+      const auto config = r.system == "A100" ? gpu::GpuSystemConfig::A100()
+                                             : gpu::GpuSystemConfig::V100();
+      const double sim =
+          gpu::GpuEndToEndMinutes(config, spec, r.accelerators, batch);
+      if (r.system == "A100") {
+        a100_pub = r.minutes;
+        a100_sim = sim;
+        a100_n = r.accelerators;
+      } else {
+        v100_pub = r.minutes;
+        v100_sim = sim;
+      }
+    }
+    bench::Row("%-12s | %7d %9.2f | %9d %9.2f %9.2f | %9.2f %9.2f",
+               models::BenchmarkName(b), scale.chips, tpu.minutes(), a100_n,
+               a100_pub, a100_sim, v100_pub, v100_sim);
+  }
+  std::printf(
+      "\n'pub' columns are approximate transcriptions of the MLPerf v0.7\n"
+      "submissions; 'sim' columns are our cluster models at those scales.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 11: end-to-end speedup over 16 accelerator chips of each system's
+// own type. TPUs sustain higher relative speedups because the 2-D torus
+// all-reduce keeps communication flat, while the GPU cluster leaves the
+// NVLink island and pays the inter-node fabric.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/multipod.h"
+#include "gpu/gpu_cluster.h"
+#include "models/model_specs.h"
+
+int main() {
+  using namespace tpu;
+  bench::Header("Figure 11 — speedup over 16 chips of own type",
+                "Kumar et al., MLSys 2021, Figure 11");
+  bench::Row("%6s | %12s %12s | %12s", "chips", "TPU ResNet", "GPU ResNet",
+             "TPU BERT");
+
+  const auto& resnet = models::GetModelSpec(models::Benchmark::kResNet50);
+  const auto a100 = gpu::GpuSystemConfig::A100();
+  double tpu_base = 0, gpu_base = 0, bert_base = 0;
+  for (int chips : bench::ScalingChips()) {
+    core::MultipodSystem system(chips);
+    const std::int64_t resnet_batch = bench::ResNetBatch(chips);
+    const double tpu_minutes =
+        system
+            .SimulateTraining(models::Benchmark::kResNet50, resnet_batch, 1,
+                              frameworks::Framework::kJax)
+            .minutes();
+    const double gpu_minutes =
+        gpu::GpuEndToEndMinutes(a100, resnet, chips, resnet_batch);
+    const std::int64_t bert_batch = bench::BertPerChipBatch(chips) * chips;
+    const double bert_minutes =
+        system
+            .SimulateTraining(models::Benchmark::kBert, bert_batch, 1,
+                              frameworks::Framework::kJax)
+            .minutes();
+    if (tpu_base == 0) {
+      tpu_base = tpu_minutes;
+      gpu_base = gpu_minutes;
+      bert_base = bert_minutes;
+    }
+    bench::Row("%6d | %12.2f %12.2f | %12.2f", chips,
+               tpu_base / tpu_minutes, gpu_base / gpu_minutes,
+               bert_base / bert_minutes);
+  }
+  return 0;
+}

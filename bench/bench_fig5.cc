@@ -1,0 +1,40 @@
+// Figure 5: ResNet-50 end-to-end and throughput speedup vs number of TPU
+// chips (speedups relative to 16 chips; batch grows with scale, so epochs to
+// converge grow too — end-to-end scales worse than throughput).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/multipod.h"
+#include "models/model_specs.h"
+
+int main() {
+  using namespace tpu;
+  bench::Header("Figure 5 — ResNet-50 speedup vs chips",
+                "Kumar et al., MLSys 2021, Figure 5");
+  bench::Row("%6s %8s %7s | %10s %10s %10s %10s", "chips", "batch", "epochs",
+             "thru(ex/s)", "min", "spd(e2e)", "spd(thru)");
+
+  const auto& spec = models::GetModelSpec(models::Benchmark::kResNet50);
+  double base_minutes = 0, base_throughput = 0, base_chips = 16;
+  for (int chips : bench::ScalingChips()) {
+    core::MultipodSystem system(chips);
+    const std::int64_t batch = bench::ResNetBatch(chips);
+    const auto result = system.SimulateTraining(
+        models::Benchmark::kResNet50, batch, 1, frameworks::Framework::kJax);
+    const double throughput = batch / result.step.step();
+    if (base_minutes == 0) {
+      base_minutes = result.minutes();
+      base_throughput = throughput;
+    }
+    const double e2e_speedup = base_minutes / result.minutes();
+    const double thru_speedup = throughput / base_throughput;
+    bench::Row("%6d %8lld %7.1f | %10.0f %10.2f %10.2f %10.2f", chips,
+               static_cast<long long>(batch), result.epochs, throughput,
+               result.minutes(), e2e_speedup, thru_speedup);
+  }
+  std::printf(
+      "\nideal speedup at 4096 chips: %.0fx; throughput tracks ideal more\n"
+      "closely than end-to-end (extra epochs at batch 64K), as in Figure 5.\n",
+      4096.0 / base_chips);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 6: ResNet-50 per-step computation vs all-reduce time as the machine
+// grows (per-chip batch shrinks 256 -> 16). Compute falls with scale; the
+// all-reduce stays nearly constant, reaching ~22% of the step at 4096 chips.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/multipod.h"
+#include "models/model_specs.h"
+#include "optim/optimizer.h"
+
+int main() {
+  using namespace tpu;
+  bench::Header("Figure 6 — ResNet-50 compute vs all-reduce per step (ms)",
+                "Kumar et al., MLSys 2021, Figure 6 (paper: 22% AR @4096)");
+  bench::Row("%6s %10s | %10s %10s %10s %8s", "chips", "batch/chip",
+             "compute", "allreduce", "step", "AR frac");
+
+  const auto& spec = models::GetModelSpec(models::Benchmark::kResNet50);
+  const auto lars = optim::MakeLars({});
+  for (int chips : bench::ScalingChips()) {
+    core::MultipodSystem system(chips);
+    const std::int64_t batch = bench::ResNetBatch(chips);
+    const auto step = system.SimulateStep(spec, batch, 1, lars.get());
+    bench::Row("%6d %10lld | %10.3f %10.3f %10.3f %7.1f%%", chips,
+               static_cast<long long>(batch / chips), ToMillis(step.compute),
+               ToMillis(step.allreduce), ToMillis(step.step()),
+               100.0 * step.allreduce_fraction());
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 7: BERT end-to-end speedup vs number of TPU chips (the paper's
+// best-scaling benchmark: LAMB sustains data parallelism to batch 32K).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/multipod.h"
+#include "models/model_specs.h"
+
+int main() {
+  using namespace tpu;
+  bench::Header("Figure 7 — BERT speedup vs chips",
+                "Kumar et al., MLSys 2021, Figure 7");
+  bench::Row("%6s %8s %8s | %10s %10s %10s", "chips", "batch", "steps", "min",
+             "spd(e2e)", "ideal");
+
+  double base_minutes = 0;
+  for (int chips : bench::ScalingChips()) {
+    core::MultipodSystem system(chips);
+    const std::int64_t batch = bench::BertPerChipBatch(chips) * chips;
+    const auto result = system.SimulateTraining(
+        models::Benchmark::kBert, batch, 1, frameworks::Framework::kJax);
+    if (base_minutes == 0) base_minutes = result.minutes();
+    bench::Row("%6d %8lld %8lld | %10.2f %10.2f %10.1f", chips,
+               static_cast<long long>(batch),
+               static_cast<long long>(result.steps), result.minutes(),
+               base_minutes / result.minutes(), chips / 16.0);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 8: BERT per-step computation vs all-reduce as the machine grows
+// (per-chip batch 48 -> 2). The Amdahl share of the all-reduce is larger
+// than ResNet-50's at every scale, reaching ~27.3% at 4096 chips.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/multipod.h"
+#include "models/model_specs.h"
+#include "optim/optimizer.h"
+
+int main() {
+  using namespace tpu;
+  bench::Header("Figure 8 — BERT compute vs all-reduce per step (ms)",
+                "Kumar et al., MLSys 2021, Figure 8 (paper: 27.3% AR @4096)");
+  bench::Row("%6s %10s | %10s %10s %10s %8s", "chips", "batch/chip",
+             "compute", "allreduce", "step", "AR frac");
+
+  const auto& spec = models::GetModelSpec(models::Benchmark::kBert);
+  const auto lamb = optim::MakeLamb({});
+  for (int chips : bench::ScalingChips()) {
+    core::MultipodSystem system(chips);
+    const std::int64_t per_chip = bench::BertPerChipBatch(chips);
+    const auto step = system.SimulateStep(spec, per_chip * chips, 1,
+                                          lamb.get());
+    bench::Row("%6d %10lld | %10.3f %10.3f %10.3f %7.1f%%", chips,
+               static_cast<long long>(per_chip), ToMillis(step.compute),
+               ToMillis(step.allreduce), ToMillis(step.step()),
+               100.0 * step.allreduce_fraction());
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 9: speedup via model parallelism (SPMD partitioning) for SSD,
+// MaskRCNN and Transformer on 1..8 cores, measured on the representative
+// blocks: spatial partitioning with halo exchange for the detectors,
+// feature sharding with partial-sum all-reduces for the Transformer.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/multipod.h"
+#include "hlo/cost_model.h"
+#include "models/blocks.h"
+#include "models/model_specs.h"
+#include "spmd/spmd.h"
+
+int main() {
+  using namespace tpu;
+  bench::Header("Figure 9 — model-parallel speedup on 1..8 cores",
+                "Kumar et al., MLSys 2021, Figure 9 (Transformer ~2.3x @4)");
+  bench::Row("%-12s | %8s %8s %8s %8s", "benchmark", "1 core", "2 cores",
+             "4 cores", "8 cores");
+  for (models::Benchmark b :
+       {models::Benchmark::kSsd, models::Benchmark::kMaskRcnn,
+        models::Benchmark::kTransformer}) {
+    double s[4];
+    int i = 0;
+    for (int cores : {1, 2, 4, 8}) {
+      s[i++] = core::ModelParallelSpeedup(b, cores);
+    }
+    bench::Row("%-12s | %8.2f %8.2f %8.2f %8.2f", models::BenchmarkName(b),
+               s[0], s[1], s[2], s[3]);
+  }
+
+  // Where the lost efficiency goes: per-partition compute vs inserted comm
+  // for the 8-way SSD split.
+  std::printf("\nSSD 8-way split detail (Section 4.4's overheads):\n");
+  models::ShardableBlock block = models::SsdBackboneBlock();
+  hlo::TpuCoreModel tpu_core;
+  const auto one = spmd::CostOfPartitioned(
+      spmd::Partition(block.module, block.shardings, 1), tpu_core);
+  const auto eight = spmd::CostOfPartitioned(
+      spmd::Partition(block.module, block.shardings, 8), tpu_core);
+  std::int64_t halo_elems = 0;
+  for (const auto& event : eight.comm) {
+    if (event.kind == spmd::CommEvent::Kind::kHaloExchange) {
+      halo_elems += event.elems;
+    }
+  }
+  bench::Row("  compute: %.3f ms -> %.3f ms (ideal %.3f ms)",
+             ToMillis(one.compute_seconds), ToMillis(eight.compute_seconds),
+             ToMillis(one.compute_seconds / 8));
+  bench::Row("  halo elements exchanged per step: %lld",
+             static_cast<long long>(halo_elems));
+  bench::Row("  worst-partition flop share: %.3f (ideal 0.125)",
+             eight.compute.flops / one.compute.flops);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Wall-clock performance of the simulator itself (google-benchmark): event
+// throughput of the discrete-event core and end-to-end simulation rates for
+// the collective schedules, so regressions in the simulator's own speed are
+// visible.
+#include <benchmark/benchmark.h>
+
+#include "collectives/all_reduce.h"
+#include "network/network.h"
+#include "sim/simulator.h"
+#include "topology/topology.h"
+
+namespace {
+
+using namespace tpu;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < events; ++i) {
+      simulator.Schedule(static_cast<double>(i % 97) * 1e-6, [] {});
+    }
+    simulator.Run();
+    benchmark::DoNotOptimize(simulator.now());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_TwoDSummationSimulation(benchmark::State& state) {
+  const int pods = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    topo::MeshTopology topo(topo::TopologyConfig::Multipod(pods));
+    sim::Simulator simulator;
+    net::Network network(&topo, net::NetworkConfig{}, &simulator);
+    coll::GradientSummationConfig config;
+    config.elems = 25'600'000;
+    const auto result = coll::TwoDGradientSummation(network, config);
+    benchmark::DoNotOptimize(result.reduce_seconds);
+    state.counters["sim_events"] =
+        static_cast<double>(simulator.events_processed());
+    state.counters["sim_ms"] = ToMillis(result.total());
+  }
+  state.SetLabel("chips=" + std::to_string(pods * 1024));
+}
+BENCHMARK(BM_TwoDSummationSimulation)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_FunctionalAllReduce(benchmark::State& state) {
+  // Data-carrying collective on a small mesh: the price of verification.
+  const std::int64_t elems = state.range(0);
+  for (auto _ : state) {
+    topo::MeshTopology topo(topo::TopologyConfig::Slice(4, 4, true));
+    sim::Simulator simulator;
+    net::Network network(&topo, net::NetworkConfig{}, &simulator);
+    std::vector<std::vector<float>> buffers(topo.num_chips(),
+                                            std::vector<float>(elems, 1.0f));
+    std::vector<float*> ptrs;
+    for (auto& b : buffers) ptrs.push_back(b.data());
+    coll::GradientSummationConfig config;
+    config.elems = elems;
+    coll::TwoDGradientSummation(network, config, ptrs);
+    benchmark::DoNotOptimize(buffers[0][0]);
+  }
+  state.SetItemsProcessed(state.iterations() * elems * 16);
+}
+BENCHMARK(BM_FunctionalAllReduce)->Arg(1 << 12)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Table 1: end-to-end MLPerf v0.7 times on the TPU-v3 multipod, TF and JAX,
+// plus the speedup over Google's MLPerf v0.6 submissions.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/multipod.h"
+#include "models/model_specs.h"
+
+int main() {
+  using namespace tpu;
+  bench::Header("Table 1 — end-to-end time (minutes)",
+                "Kumar et al., MLSys 2021, Table 1");
+  bench::Row("%-12s %6s %8s %4s | %9s %9s %9s | %9s %9s",
+             "benchmark", "chips", "batch", "mp", "TF (min)", "paperTF",
+             "spd/v0.6", "JAX (min)", "paperJAX");
+
+  struct PaperRow {
+    models::Benchmark benchmark;
+    double paper_tf;
+    double paper_jax;  // 0 = N/A
+  };
+  const PaperRow rows[] = {
+      {models::Benchmark::kResNet50, 0.48, 0.47},
+      {models::Benchmark::kBert, 0.39, 0.40},
+      {models::Benchmark::kSsd, 0.46, 0.0},
+      {models::Benchmark::kTransformer, 0.32, 0.26},
+      {models::Benchmark::kMaskRcnn, 8.1, 0.0},
+      {models::Benchmark::kDlrm, 2.4, 0.0},
+  };
+
+  for (const PaperRow& row : rows) {
+    const auto scale = models::GetSubmissionScale(row.benchmark);
+    core::MultipodSystem system(scale.chips);
+    const auto tf = system.SimulateSubmission(
+        row.benchmark, frameworks::Framework::kTensorFlow);
+    const auto jax =
+        system.SimulateSubmission(row.benchmark, frameworks::Framework::kJax);
+    const double v06 = models::MlperfV06Minutes(row.benchmark);
+    char speedup[32], paper_jax[32];
+    if (v06 > 0) {
+      std::snprintf(speedup, sizeof(speedup), "%9.2f", v06 / tf.minutes());
+    } else {
+      std::snprintf(speedup, sizeof(speedup), "%9s", "N/A");
+    }
+    if (row.paper_jax > 0) {
+      std::snprintf(paper_jax, sizeof(paper_jax), "%9.2f", row.paper_jax);
+    } else {
+      std::snprintf(paper_jax, sizeof(paper_jax), "%9s", "N/A");
+    }
+    bench::Row("%-12s %6d %8lld %4d | %9.2f %9.2f %s | %9.2f %s",
+               models::BenchmarkName(row.benchmark), scale.chips,
+               static_cast<long long>(scale.global_batch),
+               scale.model_parallel_cores, tf.minutes(), row.paper_tf, speedup,
+               jax.minutes(), paper_jax);
+  }
+  std::printf(
+      "\nNote: simulated substrate, not the authors' testbed — orderings and\n"
+      "ratios are the comparison targets, not absolute minutes.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared helpers for the reproduction benches. Each bench binary regenerates
+// one table or figure of the paper: it runs the simulation for every row /
+// series point and prints them in the paper's format, with the published
+// value alongside where the paper gives one (EXPERIMENTS.md records the
+// comparison).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tpu::bench {
+
+inline void Header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("%s\n", std::string(72, '-').c_str());
+}
+
+inline void Row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stdout, format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+// The chip scales swept in the paper's scaling figures.
+inline std::vector<int> ScalingChips() {
+  return {16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+}
+
+// ResNet-50 global batch at each scale: per-chip batch falls from 256 at 16
+// chips to 16 at 4096 chips (Figure 6's caption), i.e. 1024 * sqrt(chips).
+inline std::int64_t ResNetBatch(int chips) {
+  std::int64_t batch = 1;
+  while (batch * batch < 1024LL * 1024 * chips) batch *= 2;
+  return std::min<std::int64_t>(65536, std::max<std::int64_t>(4096, batch));
+}
+
+// BERT per-chip batch: 48 at 16 chips down to 2 at 4096 (Figure 8 caption).
+inline std::int64_t BertPerChipBatch(int chips) {
+  if (chips <= 16) return 48;
+  if (chips <= 32) return 32;
+  if (chips <= 64) return 24;
+  if (chips <= 128) return 16;
+  if (chips <= 256) return 12;
+  if (chips <= 512) return 8;
+  if (chips <= 1024) return 6;
+  if (chips <= 2048) return 4;
+  return 2;
+}
+
+}  // namespace tpu::bench

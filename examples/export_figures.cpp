@@ -1,0 +1,53 @@
+// Exports the paper's scaling figures as CSV files for plotting:
+//   fig5_resnet.csv, fig7_bert.csv (scaling sweeps)
+// into the current directory, and prints the speedup series.
+//
+//   ./build/examples/export_figures [output_dir]
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace tpu;
+  const std::string dir = argc > 1 ? std::string(argv[1]) + "/" : "";
+
+  struct Figure {
+    const char* file;
+    core::SweepConfig config;
+  };
+  core::SweepConfig resnet;
+  resnet.benchmark = models::Benchmark::kResNet50;
+  resnet.chip_counts = {16, 64, 256, 1024, 4096};
+  resnet.batch_for = [](int chips) {
+    std::int64_t b = 1;
+    while (b * b < 1024LL * 1024 * chips) b *= 2;
+    return std::min<std::int64_t>(65536, std::max<std::int64_t>(4096, b));
+  };
+  core::SweepConfig bert;
+  bert.benchmark = models::Benchmark::kBert;
+  bert.chip_counts = {16, 64, 256, 1024, 4096};
+  bert.batch_for = [](int chips) {
+    const std::int64_t per_chip = chips <= 16   ? 48
+                                  : chips <= 64  ? 24
+                                  : chips <= 256 ? 12
+                                  : chips <= 1024 ? 6
+                                                  : 2;
+    return per_chip * chips;
+  };
+
+  for (const Figure& figure :
+       {Figure{"fig5_resnet.csv", resnet}, Figure{"fig7_bert.csv", bert}}) {
+    const auto points = core::RunScalingSweep(figure.config);
+    const std::string path = dir + figure.file;
+    std::ofstream out(path);
+    core::WriteSweepCsv(out, points);
+    std::printf("wrote %s (%zu points)\n", path.c_str(), points.size());
+    for (const auto& row : core::SpeedupsRelativeToFirst(points)) {
+      std::printf("  %5d chips: e2e %.1fx, throughput %.1fx\n", row.chips,
+                  row.end_to_end, row.throughput);
+    }
+  }
+  return 0;
+}

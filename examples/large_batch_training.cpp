@@ -1,0 +1,60 @@
+// The convergence side of data parallelism, numerically (Sections 4.1-4.2):
+// train a real (tiny) network with hand-derived gradients and watch what
+// happens as the batch grows 32 -> 4096.
+//
+//   * momentum SGD with the classic "scale the learning rate linearly with
+//     the batch" rule destabilizes,
+//   * LAMB (BERT's optimizer) and LARS (ResNet-50's) keep converging with
+//     the SAME hyperparameters at every batch size — the property that lets
+//     the paper run batch 65536 on 4096 chips.
+//
+//   ./build/examples/large_batch_training
+#include <cstdio>
+
+#include "optim/mlp_trainer.h"
+#include "optim/optimizer.h"
+
+int main() {
+  using namespace tpu::optim;
+  std::printf("teacher-student MLP, 150 steps per run, MSE loss\n\n");
+  std::printf("%6s | %22s | %14s | %14s\n", "batch", "SGD (lr x batch/32)",
+              "LAMB (fixed)", "LARS (fixed)");
+
+  for (std::int64_t batch : {32, 128, 512, 2048, 4096}) {
+    MomentumSgdConfig sgd_config;
+    sgd_config.learning_rate = 0.02f * static_cast<float>(batch) / 32.0f;
+    auto sgd = MakeMomentumSgd(sgd_config);
+    MlpTrainer sgd_trainer({});
+    const TrainResult sgd_result = sgd_trainer.Train(*sgd, batch, 150);
+
+    LambConfig lamb_config;
+    lamb_config.learning_rate = 0.02f;
+    lamb_config.weight_decay = 0.0f;
+    auto lamb = MakeLamb(lamb_config);
+    MlpTrainer lamb_trainer({});
+    const TrainResult lamb_result = lamb_trainer.Train(*lamb, batch, 150);
+
+    LarsConfig lars_config;
+    lars_config.learning_rate = 1.0f;
+    lars_config.trust_coefficient = 0.02f;
+    lars_config.weight_decay = 0.0f;
+    auto lars = MakeLars(lars_config);
+    MlpTrainer lars_trainer({});
+    const TrainResult lars_result = lars_trainer.Train(*lars, batch, 150);
+
+    char sgd_cell[32];
+    if (sgd_result.diverged) {
+      std::snprintf(sgd_cell, sizeof(sgd_cell), "DIVERGED");
+    } else {
+      std::snprintf(sgd_cell, sizeof(sgd_cell), "loss %.3f",
+                    sgd_result.final_loss);
+    }
+    std::printf("%6lld | %22s | loss %9.3f | loss %9.3f\n",
+                static_cast<long long>(batch), sgd_cell,
+                lamb_result.final_loss, lars_result.final_loss);
+  }
+  std::printf(
+      "\n(initial loss ~260; LAMB/LARS use identical hyperparameters at\n"
+      " every batch — their trust ratios absorb the gradient-scale change)\n");
+  return 0;
+}

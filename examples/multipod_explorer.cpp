@@ -1,0 +1,88 @@
+// Command-line what-if tool over the multipod simulator: pick a benchmark,
+// machine size, batch, model-parallel width and framework, and get the step
+// breakdown + end-to-end estimate. The tool a capacity planner would use.
+//
+//   ./build/examples/multipod_explorer bert 1024 16384 1 jax
+//   ./build/examples/multipod_explorer transformer 4096 2048 4 tf
+//   ./build/examples/multipod_explorer            (prints usage + a default)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/multipod.h"
+#include "frameworks/runtime_model.h"
+#include "models/model_specs.h"
+
+namespace {
+
+using namespace tpu;
+
+models::Benchmark ParseBenchmark(const std::string& name) {
+  for (models::Benchmark b : models::AllBenchmarks()) {
+    std::string lower = models::BenchmarkName(b);
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    std::string key = lower;
+    key.erase(std::remove(key.begin(), key.end(), '-'), key.end());
+    if (name == lower || name == key) return b;
+  }
+  std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+void Run(models::Benchmark benchmark, int chips, std::int64_t batch, int mp,
+         frameworks::Framework framework) {
+  const models::ModelSpec& spec = models::GetModelSpec(benchmark);
+  core::MultipodSystem system(chips);
+  std::printf("machine:    %s\n", system.topology().ToString().c_str());
+  std::printf("benchmark:  %s  (batch %lld, %d-way model parallel, %s)\n",
+              spec.name.c_str(), static_cast<long long>(batch), mp,
+              frameworks::FrameworkName(framework));
+
+  const auto result = system.SimulateTraining(benchmark, batch, mp, framework);
+  std::printf("\nper-step breakdown:\n");
+  std::printf("  compute        %9.3f ms\n", ToMillis(result.step.compute));
+  std::printf("  all-reduce     %9.3f ms (%.1f%% of step)\n",
+              ToMillis(result.step.allreduce),
+              100.0 * result.step.allreduce_fraction());
+  std::printf("  weight update  %9.3f ms\n",
+              ToMillis(result.step.weight_update));
+  if (result.step.embedding_comm > 0) {
+    std::printf("  embedding a2a  %9.3f ms\n",
+                ToMillis(result.step.embedding_comm));
+  }
+  std::printf("  step           %9.3f ms\n", ToMillis(result.step.step()));
+
+  std::printf("\nrun:\n");
+  std::printf("  steps to converge  %lld (%.1f epochs)\n",
+              static_cast<long long>(result.steps), result.epochs);
+  std::printf("  train              %9.1f s\n", result.train_seconds);
+  std::printf("  eval               %9.1f s\n", result.eval_seconds);
+  std::printf("  end-to-end         %9.2f min\n", result.minutes());
+
+  const auto init = frameworks::EstimateInitTime(framework, benchmark, chips);
+  std::printf("  init (outside MLPerf clock) %6.0f s\n", init.total());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 6) {
+    std::printf(
+        "usage: %s <benchmark> <chips> <global_batch> <mp_cores> <tf|jax>\n"
+        "  benchmarks: bert resnet50 transformer ssd maskrcnn dlrm\n"
+        "running the default: bert 4096 8192 1 jax\n\n",
+        argv[0]);
+    Run(models::Benchmark::kBert, 4096, 8192, 1, frameworks::Framework::kJax);
+    return 0;
+  }
+  const models::Benchmark benchmark = ParseBenchmark(argv[1]);
+  const int chips = std::atoi(argv[2]);
+  const std::int64_t batch = std::atoll(argv[3]);
+  const int mp = std::atoi(argv[4]);
+  const frameworks::Framework framework =
+      std::strcmp(argv[5], "tf") == 0 ? frameworks::Framework::kTensorFlow
+                                      : frameworks::Framework::kJax;
+  Run(benchmark, chips, batch, mp, framework);
+  return 0;
+}

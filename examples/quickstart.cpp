@@ -1,0 +1,54 @@
+// Quickstart: build a TPU-v3 multipod, run one BERT training step on it,
+// and print where the time goes — then show the same step at a smaller
+// scale for contrast.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/multipod.h"
+#include "frameworks/runtime_model.h"
+#include "models/model_specs.h"
+#include "optim/optimizer.h"
+
+int main() {
+  using namespace tpu;
+
+  // The paper's machine: four 32x32 TPU-v3 pods joined along X (4096 chips).
+  core::MultipodSystem multipod(4096);
+  std::printf("machine: %s\n\n", multipod.topology().ToString().c_str());
+
+  const models::ModelSpec& bert = models::GetModelSpec(models::Benchmark::kBert);
+  const auto lamb = optim::MakeLamb({});
+
+  std::printf("%-8s %-12s %-12s %-12s %-12s %-8s\n", "chips", "step(ms)",
+              "compute(ms)", "allreduce", "wt-update", "AR%");
+  for (int chips : {256, 1024, 4096}) {
+    core::MultipodSystem system(chips);
+    // Per-chip batch 2 at 4096 chips, as in the submission.
+    const std::int64_t batch = 2LL * chips;
+    const core::StepBreakdown step =
+        system.SimulateStep(bert, batch, /*model_parallel_cores=*/1,
+                            lamb.get());
+    std::printf("%-8d %-12.3f %-12.3f %-12.3f %-12.3f %-8.1f\n", chips,
+                ToMillis(step.step()), ToMillis(step.compute),
+                ToMillis(step.allreduce), ToMillis(step.weight_update),
+                100.0 * step.allreduce_fraction());
+  }
+
+  // End-to-end at the MLPerf v0.7 submission scale, both frameworks.
+  std::printf("\nBERT end-to-end at the submission scale (4096 chips):\n");
+  for (auto framework :
+       {frameworks::Framework::kTensorFlow, frameworks::Framework::kJax}) {
+    const core::EndToEndResult result =
+        multipod.SimulateSubmission(models::Benchmark::kBert, framework);
+    const frameworks::InitBreakdown init = frameworks::EstimateInitTime(
+        framework, models::Benchmark::kBert, multipod.num_chips());
+    std::printf("  %-11s %6lld steps  train %.1f s  eval %.1f s  "
+                "run %.2f min  (init %.0f s, reported separately)\n",
+                frameworks::FrameworkName(framework),
+                static_cast<long long>(result.steps), result.train_seconds,
+                result.eval_seconds, result.minutes(), init.total());
+  }
+  return 0;
+}

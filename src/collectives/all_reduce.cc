@@ -1,0 +1,277 @@
+#include "collectives/all_reduce.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "sim/simulator.h"
+
+namespace tpu::coll {
+namespace {
+
+int PosIn(const std::vector<topo::ChipId>& ring, topo::ChipId chip) {
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    if (ring[i] == chip) return static_cast<int>(i);
+  }
+  TPU_CHECK(false) << "chip " << chip << " not on ring";
+  return -1;
+}
+
+std::vector<float*> DataFor(const std::vector<float*>& chip_buffers,
+                            const std::vector<topo::ChipId>& order) {
+  std::vector<float*> data;
+  if (chip_buffers.empty()) return data;
+  data.reserve(order.size());
+  for (topo::ChipId chip : order) data.push_back(chip_buffers[chip]);
+  return data;
+}
+
+}  // namespace
+
+std::vector<topo::ChipId> SnakeRingOverMesh(const topo::MeshTopology& topo) {
+  std::vector<topo::ChipId> ring;
+  ring.reserve(topo.num_chips());
+  for (int y = 0; y < topo.size_y(); ++y) {
+    if (y % 2 == 0) {
+      for (int x = 0; x < topo.size_x(); ++x) ring.push_back(topo.ChipAt({x, y}));
+    } else {
+      for (int x = topo.size_x() - 1; x >= 0; --x) {
+        ring.push_back(topo.ChipAt({x, y}));
+      }
+    }
+  }
+  return ring;
+}
+
+GradientSummationResult TwoDGradientSummation(
+    net::Network& network, const GradientSummationConfig& config,
+    std::vector<float*> chip_buffers) {
+  const topo::MeshTopology& topo = network.topology();
+  TPU_CHECK_GT(config.elems, 0);
+  TPU_CHECK_GT(config.model_parallel_stride, 0);
+  TPU_CHECK_EQ(topo.size_x() % config.model_parallel_stride, 0)
+      << "model-parallel groups must tile the X dimension";
+  if (!chip_buffers.empty()) {
+    TPU_CHECK_EQ(static_cast<int>(chip_buffers.size()), topo.num_chips());
+  }
+
+  GradientSummationResult result;
+  const Range full{0, config.elems};
+
+  // Phase 1: reduce-scatter along Y (one torus ring per column, all
+  // concurrent). The Y ring ordering is a function of the y coordinate only,
+  // so every column shares the same rank layout.
+  std::vector<RingSpec> y_rings;
+  y_rings.reserve(topo.size_x());
+  for (int x = 0; x < topo.size_x(); ++x) {
+    std::vector<topo::ChipId> order =
+        topo.RingAlong(topo::Dim::kY, topo.ChipAt({x, 0}));
+    RingSpec spec;
+    spec.data = DataFor(chip_buffers, order);
+    spec.order = std::move(order);
+    spec.range = full;
+    y_rings.push_back(std::move(spec));
+  }
+  // Rank of each row within the (shared) Y ring layout.
+  const std::vector<topo::ChipId> y_ring0 =
+      topo.RingAlong(topo::Dim::kY, topo.ChipAt({0, 0}));
+  std::vector<int> y_rank(topo.size_y());
+  for (int y = 0; y < topo.size_y(); ++y) {
+    y_rank[y] = PosIn(y_ring0, topo.ChipAt({0, y}));
+  }
+
+  result.reduce_seconds += ReduceScatter(network, y_rings, config.collective);
+
+  // Phase 2: reduce-scatter along X over each Y-owned sub-range. Rings hop
+  // over model-parallel peers when stride > 1.
+  const int ny = static_cast<int>(y_ring0.size());
+  std::vector<RingSpec> x_rings;
+  for (int y = 0; y < topo.size_y(); ++y) {
+    const std::vector<Range> y_owned =
+        OwnedAfterReduceScatter(full, ny, y_rank[y], config.collective);
+    for (int offset = 0; offset < config.model_parallel_stride; ++offset) {
+      std::vector<topo::ChipId> order = topo.StridedRingAlong(
+          topo::Dim::kX, topo.ChipAt({offset, y}),
+          config.model_parallel_stride);
+      for (const Range& range : y_owned) {
+        if (range.size() == 0) continue;
+        RingSpec spec;
+        spec.data = DataFor(chip_buffers, order);
+        spec.order = order;
+        spec.range = range;
+        x_rings.push_back(std::move(spec));
+      }
+    }
+  }
+  result.reduce_seconds += ReduceScatter(network, x_rings, config.collective);
+
+  // Ownership after both reduce phases, per chip.
+  auto owned_elems_of = [&](topo::ChipId chip) {
+    const topo::Coord c = topo.CoordOf(chip);
+    const std::vector<Range> y_owned =
+        OwnedAfterReduceScatter(full, ny, y_rank[c.y], config.collective);
+    const std::vector<topo::ChipId> x_ring = topo.StridedRingAlong(
+        topo::Dim::kX, chip, config.model_parallel_stride);
+    const int x_rank = PosIn(x_ring, chip);
+    std::int64_t elems = 0;
+    for (const Range& range : y_owned) {
+      if (range.size() == 0) continue;
+      for (const Range& owned : OwnedAfterReduceScatter(
+               range, static_cast<int>(x_ring.size()), x_rank,
+               config.collective)) {
+        elems += owned.size();
+      }
+    }
+    return elems;
+  };
+
+  for (int chip = 0; chip < topo.num_chips(); ++chip) {
+    result.max_owned_elems =
+        std::max(result.max_owned_elems, owned_elems_of(chip));
+  }
+
+  // Phase 3: sharded weight update (weight-update sharding, Section 3.2).
+  if (config.shard_update_seconds) {
+    sim::Simulator& simulator = network.simulator();
+    const SimTime start = simulator.now();
+    for (int chip = 0; chip < topo.num_chips(); ++chip) {
+      simulator.Schedule(config.shard_update_seconds(owned_elems_of(chip)),
+                         [] {});
+    }
+    simulator.Run();
+    result.update_seconds = simulator.now() - start;
+  }
+
+  // Phase 4: all-gather back, X first then Y ("broadcast first along X and
+  // then Y").
+  result.broadcast_seconds += AllGather(network, x_rings, config.collective);
+  result.broadcast_seconds += AllGather(network, y_rings, config.collective);
+  return result;
+}
+
+SimTime PipelinedTwoDGradientSummation(
+    net::Network& network, const GradientSummationConfig& config, int chunks,
+    std::vector<float*> chip_buffers) {
+  const topo::MeshTopology& topo = network.topology();
+  TPU_CHECK_GT(config.elems, 0);
+  TPU_CHECK_GT(chunks, 0);
+  TPU_CHECK_EQ(topo.size_x() % config.model_parallel_stride, 0);
+  if (!chip_buffers.empty()) {
+    TPU_CHECK_EQ(static_cast<int>(chip_buffers.size()), topo.num_chips());
+  }
+  sim::Simulator& simulator = network.simulator();
+  const SimTime start = simulator.now();
+
+  // Shared ring layouts (identical for every slice).
+  const std::vector<topo::ChipId> y_ring0 =
+      topo.RingAlong(topo::Dim::kY, topo.ChipAt({0, 0}));
+  const int ny = static_cast<int>(y_ring0.size());
+  std::vector<int> y_rank(topo.size_y());
+  for (int y = 0; y < topo.size_y(); ++y) {
+    y_rank[y] = PosIn(y_ring0, topo.ChipAt({0, y}));
+  }
+
+  auto all_done = std::make_shared<sim::Barrier>(chunks, [] {});
+  const std::int64_t slice = CeilDiv(config.elems, chunks);
+  for (int c = 0; c < chunks; ++c) {
+    const Range range{std::min<std::int64_t>(config.elems, c * slice),
+                      std::min<std::int64_t>(config.elems, (c + 1) * slice)};
+    if (range.size() == 0) {
+      all_done->Notify();
+      continue;
+    }
+    // Per-slice ring specs.
+    auto y_rings = std::make_shared<std::vector<RingSpec>>();
+    for (int x = 0; x < topo.size_x(); ++x) {
+      std::vector<topo::ChipId> order =
+          topo.RingAlong(topo::Dim::kY, topo.ChipAt({x, 0}));
+      RingSpec spec;
+      spec.data = DataFor(chip_buffers, order);
+      spec.order = std::move(order);
+      spec.range = range;
+      y_rings->push_back(std::move(spec));
+    }
+    auto x_rings = std::make_shared<std::vector<RingSpec>>();
+    for (int y = 0; y < topo.size_y(); ++y) {
+      const std::vector<Range> y_owned =
+          OwnedAfterReduceScatter(range, ny, y_rank[y], config.collective);
+      for (int offset = 0; offset < config.model_parallel_stride; ++offset) {
+        std::vector<topo::ChipId> order = topo.StridedRingAlong(
+            topo::Dim::kX, topo.ChipAt({offset, y}),
+            config.model_parallel_stride);
+        for (const Range& owned : y_owned) {
+          if (owned.size() == 0) continue;
+          RingSpec spec;
+          spec.data = DataFor(chip_buffers, order);
+          spec.order = order;
+          spec.range = owned;
+          x_rings->push_back(std::move(spec));
+        }
+      }
+    }
+
+    // Phase chain for this slice: Y-RS -> X-RS -> [update] -> X-AG -> Y-AG.
+    net::Network* net_ptr = &network;
+    const auto options = config.collective;
+    auto update_hook = config.shard_update_seconds;
+    auto after_xag = [net_ptr, y_rings, options, all_done] {
+      StartAllGather(*net_ptr, *y_rings, options,
+                     [all_done] { all_done->Notify(); });
+    };
+    auto after_update = [net_ptr, x_rings, options, after_xag] {
+      StartAllGather(*net_ptr, *x_rings, options, after_xag);
+    };
+    auto after_xrs = [net_ptr, &topo, range, ny, y_rank, update_hook, config,
+                      after_update]() {
+      if (!update_hook) {
+        after_update();
+        return;
+      }
+      // Sharded weight update on each chip's owned slice portion.
+      sim::Simulator& sim_ref = net_ptr->simulator();
+      auto barrier = std::make_shared<sim::Barrier>(topo.num_chips(),
+                                                    after_update);
+      for (int chip = 0; chip < topo.num_chips(); ++chip) {
+        const topo::Coord coord = topo.CoordOf(chip);
+        const std::vector<topo::ChipId> x_ring = topo.StridedRingAlong(
+            topo::Dim::kX, chip, config.model_parallel_stride);
+        const int x_rank = PosIn(x_ring, chip);
+        std::int64_t owned_elems = 0;
+        for (const Range& r : OwnedAfterReduceScatter(
+                 range, ny, y_rank[coord.y], config.collective)) {
+          if (r.size() == 0) continue;
+          for (const Range& owned : OwnedAfterReduceScatter(
+                   r, static_cast<int>(x_ring.size()), x_rank,
+                   config.collective)) {
+            owned_elems += owned.size();
+          }
+        }
+        sim_ref.Schedule(update_hook(owned_elems),
+                         [barrier] { barrier->Notify(); });
+      }
+    };
+    StartReduceScatter(network, *y_rings, options,
+                       [net_ptr, x_rings, options, after_xrs] {
+                         StartReduceScatter(*net_ptr, *x_rings, options,
+                                            after_xrs);
+                       });
+  }
+  simulator.Run();
+  return simulator.now() - start;
+}
+
+SimTime OneDGradientSummation(net::Network& network,
+                              const GradientSummationConfig& config,
+                              std::vector<float*> chip_buffers) {
+  const topo::MeshTopology& topo = network.topology();
+  RingSpec spec;
+  spec.order = SnakeRingOverMesh(topo);
+  spec.data = DataFor(chip_buffers, spec.order);
+  spec.range = Range{0, config.elems};
+  std::vector<RingSpec> rings;
+  rings.push_back(std::move(spec));
+  return AllReduce(network, rings, config.collective);
+}
+
+}  // namespace tpu::coll

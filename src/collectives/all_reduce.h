@@ -1,0 +1,84 @@
+// The paper's optimized global gradient summation (Section 3.3).
+//
+// 2-D hierarchical schedule on the multipod mesh:
+//   1. bidirectional ring reduce-scatter along the Y dimension (torus rings),
+//   2. reduce-scatter along X over the Y-shards (payload already 1/|Y|,
+//      which is the "32 times less data along X" property),
+//   3. optional per-chip shard update hook — this is where weight-update
+//      sharding (Section 3.2) computes the optimizer step on the shard,
+//   4. all-gather along X, then along Y ("broadcast first along X and then
+//      Y in two steps").
+//
+// With model parallelism (Transformer), the X rings are *strided*: they hop
+// over the chips that are model-parallel neighbors and connect each shard to
+// its peer on every other model-parallel group (Figure 4, dotted blue rings).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "collectives/ring.h"
+#include "network/network.h"
+#include "topology/topology.h"
+
+namespace tpu::coll {
+
+struct GradientSummationConfig {
+  std::int64_t elems = 0;  // per-chip gradient payload, in float elements
+  CollectiveOptions collective;
+  // 1 for pure data parallelism. For model parallelism, the number of
+  // X-neighbor chips one model is sharded across; the X reduction rings then
+  // connect every stride-th chip.
+  int model_parallel_stride = 1;
+  // Optional weight-update-sharding hook: given the number of elements a chip
+  // owns after the reduce phase, returns the simulated seconds its sharded
+  // optimizer update takes. Null hook skips the update phase.
+  std::function<SimTime(std::int64_t owned_elems)> shard_update_seconds;
+};
+
+struct GradientSummationResult {
+  SimTime reduce_seconds = 0;     // Y reduce-scatter + X reduce-scatter
+  SimTime update_seconds = 0;     // sharded weight update (if hooked)
+  SimTime broadcast_seconds = 0;  // X all-gather + Y all-gather
+  // Elements each chip owned at the update point (uniform up to rounding;
+  // this is the max across chips).
+  std::int64_t max_owned_elems = 0;
+
+  SimTime total() const {
+    return reduce_seconds + update_seconds + broadcast_seconds;
+  }
+};
+
+// Runs the full 2-D summation on the network's topology. `chip_buffers` is
+// either empty (timing-only) or holds one payload pointer per chip id; after
+// the call every participating chip's buffer contains the global sum
+// (across its Y column and its strided X peers).
+GradientSummationResult TwoDGradientSummation(
+    net::Network& network, const GradientSummationConfig& config,
+    std::vector<float*> chip_buffers = {});
+
+// Chunk-pipelined variant of the 2-D summation: the payload is split into
+// `chunks` slices whose four phases (Y-RS, X-RS, X-AG, Y-AG) overlap —
+// slice i+1 reduces on the Y links while slice i reduces on the X links.
+// This is how production XLA hides the smaller phase; the sequential
+// schedule above is the conservative default. Functionally identical
+// (slices are disjoint); returns elapsed simulated time. The weight-update
+// hook, when present, runs per slice on the owned shard.
+SimTime PipelinedTwoDGradientSummation(
+    net::Network& network, const GradientSummationConfig& config, int chunks,
+    std::vector<float*> chip_buffers = {});
+
+// Baseline for the ablation bench: a single ring over the whole mesh
+// (boustrophedon over rows), the schedule 2-D summation replaces. Exposes
+// the O(num_chips) latency term that makes 1-D rings uncompetitive at 4096
+// chips.
+SimTime OneDGradientSummation(net::Network& network,
+                              const GradientSummationConfig& config,
+                              std::vector<float*> chip_buffers = {});
+
+// Row-major boustrophedon ring visiting every chip; consecutive ring
+// positions are physical neighbors.
+std::vector<topo::ChipId> SnakeRingOverMesh(const topo::MeshTopology& topo);
+
+}  // namespace tpu::coll

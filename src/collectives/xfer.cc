@@ -1,0 +1,73 @@
+#include "collectives/xfer.h"
+
+#include <memory>
+
+#include "common/check.h"
+#include "sim/simulator.h"
+
+namespace tpu::coll {
+namespace {
+
+// Runs a batch of concurrent point-to-point sends to completion and returns
+// elapsed simulated time.
+SimTime RunSends(
+    net::Network& network,
+    const std::vector<std::pair<topo::ChipId, topo::ChipId>>& pairs,
+    Bytes bytes) {
+  sim::Simulator& simulator = network.simulator();
+  const SimTime start = simulator.now();
+  for (const auto& [src, dst] : pairs) {
+    network.Send(src, dst, bytes, [] {});
+  }
+  simulator.Run();
+  return simulator.now() - start;
+}
+
+}  // namespace
+
+SimTime HaloExchange(net::Network& network,
+                     const std::vector<topo::ChipId>& parts, int grid_x,
+                     int grid_y, Bytes halo_bytes_x, Bytes halo_bytes_y) {
+  TPU_CHECK_EQ(static_cast<int>(parts.size()), grid_x * grid_y);
+  sim::Simulator& simulator = network.simulator();
+  const SimTime start = simulator.now();
+  auto part_at = [&](int gx, int gy) { return parts[gy * grid_x + gx]; };
+  for (int gy = 0; gy < grid_y; ++gy) {
+    for (int gx = 0; gx < grid_x; ++gx) {
+      const topo::ChipId self = part_at(gx, gy);
+      // Each tile pushes its edge regions to the neighbor that needs them;
+      // both directions of every tile boundary are sent.
+      if (gx + 1 < grid_x) {
+        network.Send(self, part_at(gx + 1, gy), halo_bytes_x, [] {});
+        network.Send(part_at(gx + 1, gy), self, halo_bytes_x, [] {});
+      }
+      if (gy + 1 < grid_y) {
+        network.Send(self, part_at(gx, gy + 1), halo_bytes_y, [] {});
+        network.Send(part_at(gx, gy + 1), self, halo_bytes_y, [] {});
+      }
+    }
+  }
+  simulator.Run();
+  return simulator.now() - start;
+}
+
+SimTime AllToAll(net::Network& network, const std::vector<topo::ChipId>& chips,
+                 Bytes per_pair_bytes) {
+  std::vector<std::pair<topo::ChipId, topo::ChipId>> pairs;
+  pairs.reserve(chips.size() * (chips.size() - 1));
+  for (topo::ChipId src : chips) {
+    for (topo::ChipId dst : chips) {
+      if (src != dst) pairs.emplace_back(src, dst);
+    }
+  }
+  return RunSends(network, pairs, per_pair_bytes);
+}
+
+SimTime CollectivePermute(
+    net::Network& network,
+    const std::vector<std::pair<topo::ChipId, topo::ChipId>>& pairs,
+    Bytes bytes) {
+  return RunSends(network, pairs, bytes);
+}
+
+}  // namespace tpu::coll

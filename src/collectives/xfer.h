@@ -1,0 +1,43 @@
+// Point-to-point transfer patterns used by the SPMD partitioner's inserted
+// communication: halo exchange (spatially partitioned convolutions,
+// Section 3.1), all-to-all (resharding), and collective-permute.
+//
+// These are timing primitives: the SPMD evaluator performs the functional
+// data movement directly; the partitioned cost model charges time through
+// these schedules.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "network/network.h"
+#include "topology/topology.h"
+
+namespace tpu::coll {
+
+// Spatial-partitioning halo exchange: `parts` are the participants of one
+// partitioned operator, laid out as a grid_x x grid_y tile grid over the
+// image (parts[gy * grid_x + gx]). Each part exchanges `halo_bytes_x` with
+// its left/right tile neighbors and `halo_bytes_y` with its up/down
+// neighbors. Two cores of one chip may both appear in `parts`; transfers
+// between them cost only the per-message overhead (on-chip).
+// Returns elapsed simulated time.
+SimTime HaloExchange(net::Network& network,
+                     const std::vector<topo::ChipId>& parts, int grid_x,
+                     int grid_y, Bytes halo_bytes_x, Bytes halo_bytes_y);
+
+// Dense all-to-all among `chips`: every ordered pair exchanges
+// `per_pair_bytes`. Used to model resharding between different SPMD
+// shardings (e.g. spatial split -> feature split in MaskRCNN einsums).
+SimTime AllToAll(net::Network& network, const std::vector<topo::ChipId>& chips,
+                 Bytes per_pair_bytes);
+
+// Collective-permute: each (src, dst) pair transfers `bytes` concurrently.
+SimTime CollectivePermute(
+    net::Network& network,
+    const std::vector<std::pair<topo::ChipId, topo::ChipId>>& pairs,
+    Bytes bytes);
+
+}  // namespace tpu::coll

@@ -1,0 +1,55 @@
+// Software bfloat16: the 16-bit truncated IEEE-754 float used by TPUs for
+// activations and gradient all-reduce payloads (Section 3.3 / 4.1 of the
+// paper). Round-to-nearest-even conversion, as implemented in XLA.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace tpu {
+
+class BFloat16 {
+ public:
+  BFloat16() = default;
+
+  explicit BFloat16(float f) : bits_(RoundFromFloat(f)) {}
+
+  static BFloat16 FromBits(std::uint16_t bits) {
+    BFloat16 b;
+    b.bits_ = bits;
+    return b;
+  }
+
+  std::uint16_t bits() const { return bits_; }
+
+  float ToFloat() const {
+    std::uint32_t wide = static_cast<std::uint32_t>(bits_) << 16;
+    float f;
+    std::memcpy(&f, &wide, sizeof(f));
+    return f;
+  }
+
+  friend bool operator==(BFloat16 a, BFloat16 b) { return a.bits_ == b.bits_; }
+
+ private:
+  // Round-to-nearest-even truncation of the low 16 mantissa bits.
+  static std::uint16_t RoundFromFloat(float f) {
+    std::uint32_t x;
+    std::memcpy(&x, &f, sizeof(x));
+    // NaN must stay NaN: set a mantissa bit so truncation cannot produce Inf.
+    if ((x & 0x7fffffff) > 0x7f800000) {
+      return static_cast<std::uint16_t>((x >> 16) | 0x0040);
+    }
+    const std::uint32_t lsb = (x >> 16) & 1;
+    const std::uint32_t rounding_bias = 0x7fff + lsb;
+    return static_cast<std::uint16_t>((x + rounding_bias) >> 16);
+  }
+
+  std::uint16_t bits_ = 0;
+};
+
+// Round-trips a float through bfloat16, modeling the precision loss of
+// bf16 gradient compression on the wire.
+inline float QuantizeToBFloat16(float f) { return BFloat16(f).ToFloat(); }
+
+}  // namespace tpu

@@ -1,0 +1,57 @@
+// Lightweight invariant-checking macros.
+//
+// The simulator is deterministic; a failed check is always a programming
+// error, so we print a message and abort rather than unwinding.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tpu::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Stream-collecting helper so `CHECK(x) << "context"` works.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace tpu::internal
+
+#define TPU_CHECK(cond)                                                \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::tpu::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define TPU_CHECK_EQ(a, b) TPU_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TPU_CHECK_NE(a, b) TPU_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TPU_CHECK_LT(a, b) TPU_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TPU_CHECK_LE(a, b) TPU_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TPU_CHECK_GT(a, b) TPU_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TPU_CHECK_GE(a, b) TPU_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "

@@ -1,0 +1,32 @@
+// Small integer/float helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace tpu {
+
+constexpr std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+constexpr std::int64_t RoundUp(std::int64_t a, std::int64_t multiple) {
+  return CeilDiv(a, multiple) * multiple;
+}
+
+constexpr bool IsPowerOfTwo(std::int64_t x) {
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+inline std::int64_t Log2Floor(std::int64_t x) {
+  TPU_CHECK_GT(x, 0);
+  std::int64_t log = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++log;
+  }
+  return log;
+}
+
+}  // namespace tpu

@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace tpu {
+
+double Rng::NextGaussian() {
+  // Box-Muller; reject u1 == 0 to avoid log(0).
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextPareto(double xm, double alpha) {
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return -mean * std::log(u);
+}
+
+}  // namespace tpu

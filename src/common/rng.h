@@ -1,0 +1,74 @@
+// Deterministic, seedable RNG used everywhere in the simulator so that runs
+// are exactly reproducible (no wall-clock or global-state dependence).
+//
+// SplitMix64 for seeding, xoshiro256** for the stream; both are public-domain
+// algorithms (Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+
+namespace tpu {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 4-word state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Lemire's nearly-divisionless method would be overkill; modulo bias is
+    // negligible for the bounds used here (<< 2^32).
+    return NextU64() % bound;
+  }
+
+  // Uniform in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Standard normal via Box-Muller (cached second value discarded for
+  // simplicity; throughput is not a concern for config-time sampling).
+  double NextGaussian();
+
+  // Pareto-distributed sample with scale xm and shape alpha — used for the
+  // heavy-tailed JPEG decode times in the ResNet input pipeline model.
+  double NextPareto(double xm, double alpha);
+
+  // Exponential with the given mean.
+  double NextExponential(double mean);
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace tpu

@@ -1,0 +1,51 @@
+// Minimal fixed-size thread pool with a parallel-for helper.
+//
+// Used by the fast AUC metric (Section 4.6: "multithreaded sorting and loop
+// fusion") and by the multi-client framework model to emulate concurrent
+// per-host compilation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tpu {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task; tasks may run in any order.
+  void Schedule(std::function<void()> task);
+
+  // Blocks until all scheduled tasks have completed.
+  void Wait();
+
+  // Splits [0, n) into roughly equal contiguous chunks, runs
+  // body(begin, end) on the pool, and waits for completion.
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace tpu

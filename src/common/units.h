@@ -1,0 +1,38 @@
+// Unit helpers used throughout the simulator.
+//
+// Simulated time is a double in seconds; payload sizes are int64 bytes.
+// The helpers below keep literal-heavy configuration code readable
+// (`64 * kMiB`, `Seconds(1e-6)`) without a heavyweight units library.
+#pragma once
+
+#include <cstdint>
+
+namespace tpu {
+
+using SimTime = double;   // seconds of simulated time
+using Bytes = std::int64_t;
+using Flops = double;     // floating-point operations (can exceed int64 range)
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+constexpr SimTime Seconds(double s) { return s; }
+constexpr SimTime Millis(double ms) { return ms * 1e-3; }
+constexpr SimTime Micros(double us) { return us * 1e-6; }
+constexpr SimTime Nanos(double ns) { return ns * 1e-9; }
+
+constexpr double ToMillis(SimTime t) { return t * 1e3; }
+constexpr double ToMicros(SimTime t) { return t * 1e6; }
+constexpr double ToMinutes(SimTime t) { return t / 60.0; }
+
+// Bandwidths are bytes/second.
+using Bandwidth = double;
+constexpr Bandwidth GBps(double gb) { return gb * 1e9; }
+
+}  // namespace tpu

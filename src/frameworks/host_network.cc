@@ -1,0 +1,75 @@
+#include "frameworks/host_network.h"
+
+#include <memory>
+
+#include "common/check.h"
+
+namespace tpu::frameworks {
+
+HostNetwork::HostNetwork(int num_hosts, const HostNetworkConfig& config,
+                         sim::Simulator* simulator)
+    : num_hosts_(num_hosts), config_(config), simulator_(simulator) {
+  TPU_CHECK_GE(num_hosts, 2);
+  TPU_CHECK(simulator != nullptr);
+  tx_.reserve(num_hosts);
+  rx_.reserve(num_hosts);
+  cpu_.reserve(num_hosts);
+  for (int h = 0; h < num_hosts; ++h) {
+    tx_.emplace_back(simulator);
+    rx_.emplace_back(simulator);
+    cpu_.emplace_back(simulator);
+  }
+}
+
+void HostNetwork::Rpc(int src, int dst, Bytes payload,
+                      sim::Simulator::Callback on_done) {
+  TPU_CHECK_GE(src, 0);
+  TPU_CHECK_LT(src, num_hosts_);
+  TPU_CHECK_GE(dst, 0);
+  TPU_CHECK_LT(dst, num_hosts_);
+  TPU_CHECK_NE(src, dst);
+  TPU_CHECK_GE(payload, 0);
+  bytes_sent_ += payload;
+  const SimTime wire = static_cast<double>(payload) / config_.nic_bandwidth;
+  // Transmit: queue on the sender's NIC.
+  const SimTime tx_start = tx_[src].ReserveFrom(simulator_->now(), wire);
+  const SimTime arrival_head = tx_start + wire + config_.network_latency;
+  // Receive: queue on the receiver's NIC, then dispatch.
+  const SimTime rx_start = rx_[dst].ReserveFrom(arrival_head, wire);
+  simulator_->ScheduleAt(rx_start + wire + config_.rpc_processing,
+                         std::move(on_done));
+}
+
+SimTime SimulateGraphDistribution(int num_workers, Bytes graph_bytes,
+                                  const HostNetworkConfig& config) {
+  TPU_CHECK_GT(num_workers, 0);
+  sim::Simulator simulator;
+  HostNetwork network(num_workers + 1, config, &simulator);
+  auto barrier =
+      std::make_shared<sim::Barrier>(num_workers, [] {});
+  // The coordinator serializes each worker's partitioned graph on its CPU
+  // (serially), then hands it to the NIC.
+  for (int w = 1; w <= num_workers; ++w) {
+    const SimTime cpu_done = network.cpu_[0].ReserveFrom(
+                                 simulator.now(), config.per_worker_serialize) +
+                             config.per_worker_serialize;
+    simulator.ScheduleAt(cpu_done, [&network, w, graph_bytes, barrier] {
+      network.Rpc(0, w, graph_bytes, [barrier] { barrier->Notify(); });
+    });
+  }
+  return simulator.Run();
+}
+
+SimTime SimulateEvalGather(int num_workers, Bytes metric_bytes,
+                           const HostNetworkConfig& config) {
+  TPU_CHECK_GT(num_workers, 0);
+  sim::Simulator simulator;
+  HostNetwork network(num_workers + 1, config, &simulator);
+  auto barrier = std::make_shared<sim::Barrier>(num_workers, [] {});
+  for (int w = 1; w <= num_workers; ++w) {
+    network.Rpc(w, 0, metric_bytes, [barrier] { barrier->Notify(); });
+  }
+  return simulator.Run();
+}
+
+}  // namespace tpu::frameworks

@@ -1,0 +1,70 @@
+// Discrete-event model of the datacenter (host) network the TensorFlow
+// single-client runtime rides on (Section 2): the coordinator serializes a
+// partitioned graph per worker on its CPU, ships it over its NIC, and later
+// gathers per-host eval metrics back through the same NIC (the incast the
+// JAX on-device all-reduce avoids, Section 3.4).
+//
+// This is the mechanistic counterpart of the analytic constants in
+// runtime_model.h; tests cross-validate the two.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace tpu::frameworks {
+
+struct HostNetworkConfig {
+  Bandwidth nic_bandwidth = GBps(12.5);  // 100 Gbps per host
+  SimTime network_latency = Micros(50);  // one-way, through the fabric
+  SimTime rpc_processing = Micros(30);   // receive-side dispatch
+  // Coordinator CPU time to partition + serialize one worker's graph.
+  SimTime per_worker_serialize = Millis(20);
+};
+
+// Host 0 is the coordinator; hosts 1..n are workers.
+class HostNetwork {
+ public:
+  HostNetwork(int num_hosts, const HostNetworkConfig& config,
+              sim::Simulator* simulator);
+
+  int num_hosts() const { return num_hosts_; }
+  sim::Simulator& simulator() { return *simulator_; }
+
+  // One RPC: payload serializes on the sender's NIC, crosses the fabric,
+  // serializes on the receiver's NIC, then pays dispatch. `on_done` fires at
+  // delivery.
+  void Rpc(int src, int dst, Bytes payload, sim::Simulator::Callback on_done);
+
+  Bytes bytes_sent() const { return bytes_sent_; }
+
+ private:
+  int num_hosts_;
+  HostNetworkConfig config_;
+  sim::Simulator* simulator_;
+  std::vector<sim::FifoResource> tx_;  // per-host NIC, transmit side
+  std::vector<sim::FifoResource> rx_;  // per-host NIC, receive side
+  std::vector<sim::FifoResource> cpu_; // per-host CPU (serialization)
+  Bytes bytes_sent_ = 0;
+
+  friend SimTime SimulateGraphDistribution(int, Bytes,
+                                           const HostNetworkConfig&);
+  friend SimTime SimulateEvalGather(int, Bytes, const HostNetworkConfig&);
+};
+
+// TF startup: the coordinator serializes and ships `graph_bytes` to each of
+// `num_workers` workers (CPU serialization is the serial bottleneck).
+// Returns the time until the last worker holds its graph.
+SimTime SimulateGraphDistribution(int num_workers, Bytes graph_bytes,
+                                  const HostNetworkConfig& config = {});
+
+// TF eval: every worker sends `metric_bytes` to the coordinator at once;
+// the coordinator's receive NIC and dispatch serialize the incast. Returns
+// the time until all metrics have been processed.
+SimTime SimulateEvalGather(int num_workers, Bytes metric_bytes,
+                           const HostNetworkConfig& config = {});
+
+}  // namespace tpu::frameworks

@@ -1,0 +1,68 @@
+#include "frameworks/runtime_model.h"
+
+#include "common/check.h"
+
+namespace tpu::frameworks {
+
+const char* FrameworkName(Framework framework) {
+  return framework == Framework::kTensorFlow ? "TensorFlow" : "JAX";
+}
+
+ModelCompileProfile CompileProfileFor(models::Benchmark benchmark) {
+  // Calibrated against Table 2's ordering: BERT has the largest graph
+  // (1040 s TF init), Transformer's sharded program compiles slowest under
+  // JAX (294 s), ResNet-50 and SSD are lighter.
+  switch (benchmark) {
+    case models::Benchmark::kResNet50:
+      return {1.0, Seconds(45)};
+    case models::Benchmark::kBert:
+      return {2.34, Seconds(96)};
+    case models::Benchmark::kSsd:
+      return {1.73, Seconds(52)};
+    case models::Benchmark::kTransformer:
+      return {1.61, Seconds(190)};
+    case models::Benchmark::kMaskRcnn:
+      return {2.0, Seconds(120)};
+    case models::Benchmark::kDlrm:
+      return {0.8, Seconds(40)};
+  }
+  return {};
+}
+
+InitBreakdown EstimateInitTime(Framework framework,
+                               models::Benchmark benchmark, int num_chips,
+                               const RuntimeModelConfig& config) {
+  TPU_CHECK_GT(num_chips, 0);
+  const ModelCompileProfile profile = CompileProfileFor(benchmark);
+  const int num_hosts = std::max(1, num_chips / 4);
+  InitBreakdown init;
+  init.mesh_init = config.mesh_init_base +
+                   config.mesh_init_per_kilochip * (num_chips / 1024.0);
+  if (framework == Framework::kTensorFlow) {
+    // The coordinator's multi-device graph grows with every worker.
+    init.graph_construction =
+        config.tf_per_device_graph * profile.graph_complexity * num_chips;
+    init.compile = profile.xla_compile;
+    init.distribution = config.tf_per_host_rpc * num_hosts;
+  } else {
+    // Every host compiles its own single-device-view program concurrently;
+    // deterministic compilation keeps the binaries compatible.
+    init.startup = config.jax_python_startup;
+    init.compile = profile.xla_compile * config.jax_compile_factor;
+  }
+  return init;
+}
+
+SimTime EvalMetricSeconds(Framework framework, int num_hosts,
+                          const RuntimeModelConfig& config) {
+  TPU_CHECK_GT(num_hosts, 0);
+  if (framework == Framework::kTensorFlow) {
+    // Per-host RPC gather to the coordinator, then coordinator-side compute.
+    return config.eval_rpc_per_host * num_hosts +
+           config.eval_coordinator_compute;
+  }
+  // Fully distributed: one on-device all-reduce, size-independent.
+  return config.eval_allreduce;
+}
+
+}  // namespace tpu::frameworks

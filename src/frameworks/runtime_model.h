@@ -1,0 +1,80 @@
+// Distributed-runtime models of the two frameworks (Section 2, Table 2).
+//
+// TensorFlow (single-client): one coordinator Python process builds and
+// optimizes a multi-device graph whose size grows with the number of
+// workers, compiles once, then ships partitioned graphs to every worker over
+// the datacenter network. Its initialization time is therefore
+// O(num_devices) — the Amdahl bottleneck Table 2 quantifies.
+//
+// JAX (multi-client): every host runs the same program, compiles its own
+// (device-count-independent) executable concurrently with the others, and
+// only coordinates for TPU mesh setup. Its initialization is near-constant
+// in system size.
+//
+// The same structural difference drives the evaluation-metric path
+// (Section 3.4): TF gathers per-host metrics to the coordinator via RPC;
+// JAX computes the metric on-device with an all-reduce.
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+#include "models/model_specs.h"
+
+namespace tpu::frameworks {
+
+enum class Framework { kTensorFlow, kJax };
+
+const char* FrameworkName(Framework framework);
+
+// Per-model compile/graph complexity. Factors are relative to ResNet-50 = 1;
+// they stand in for graph node counts and XLA program sizes.
+struct ModelCompileProfile {
+  double graph_complexity = 1.0;     // TF graph construction / optimization
+  SimTime xla_compile = Seconds(60); // one XLA compilation of the step fn
+};
+ModelCompileProfile CompileProfileFor(models::Benchmark benchmark);
+
+struct RuntimeModelConfig {
+  // TF coordinator: per-device graph construction + optimization cost, for a
+  // graph_complexity = 1 model.
+  SimTime tf_per_device_graph = Millis(90);
+  // TF: per-worker RPC to ship the partitioned graph (pipelined; the
+  // coordinator serializes the send loop).
+  SimTime tf_per_host_rpc = Millis(25);
+  // JAX: Python interpreter + library import on every host (concurrent).
+  SimTime jax_python_startup = Seconds(25);
+  // JAX compiles on every host concurrently but pays a tracing overhead.
+  double jax_compile_factor = 1.1;
+  // Both: TPU topological mesh initialization, grows slowly with chips.
+  SimTime mesh_init_base = Seconds(20);
+  SimTime mesh_init_per_kilochip = Seconds(10);
+
+  // Evaluation metric path (Section 3.4).
+  SimTime eval_rpc_per_host = Millis(0.5);    // TF host -> coordinator gather
+  SimTime eval_coordinator_compute = Millis(100);
+  SimTime eval_allreduce = Millis(5);         // JAX on-device all-reduce
+};
+
+struct InitBreakdown {
+  SimTime graph_construction = 0;  // TF only: O(devices)
+  SimTime compile = 0;
+  SimTime distribution = 0;        // TF only: RPC fan-out
+  SimTime startup = 0;             // JAX only: per-host Python startup
+  SimTime mesh_init = 0;
+
+  SimTime total() const {
+    return graph_construction + compile + distribution + startup + mesh_init;
+  }
+};
+
+InitBreakdown EstimateInitTime(Framework framework,
+                               models::Benchmark benchmark, int num_chips,
+                               const RuntimeModelConfig& config = {});
+
+// Time to produce one global evaluation metric (e.g. top-1 accuracy) from
+// per-device partial results.
+SimTime EvalMetricSeconds(Framework framework, int num_hosts,
+                          const RuntimeModelConfig& config = {});
+
+}  // namespace tpu::frameworks

@@ -1,0 +1,115 @@
+#include "gpu/gpu_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tpu::gpu {
+
+GpuSystemConfig GpuSystemConfig::A100() { return GpuSystemConfig{}; }
+
+GpuSystemConfig GpuSystemConfig::V100() {
+  GpuSystemConfig config;
+  config.name = "V100";
+  config.peak_flops = 125e12;  // fp16 tensor cores
+  config.peak_fraction = 0.40;
+  config.nvlink_bandwidth = GBps(150);
+  config.ib_bandwidth_per_gpu = GBps(12.5);
+  return config;
+}
+
+SimTime GpuAllReduceSeconds(const GpuSystemConfig& config, int num_gpus,
+                            Bytes payload_bytes) {
+  TPU_CHECK_GT(num_gpus, 0);
+  const double payload = static_cast<double>(payload_bytes);
+  const int g = std::min(num_gpus, config.gpus_per_node);
+
+  // Intra-node reduce-scatter + all-gather over NVLink.
+  SimTime intra = 0;
+  if (g > 1) {
+    intra = 2.0 * payload * (g - 1) / g / config.nvlink_bandwidth +
+            2.0 * (g - 1) * config.nvlink_latency;
+  }
+  // Inter-node ring on the 1/g shards, one ring per GPU rail.
+  const int nodes = (num_gpus + config.gpus_per_node - 1) /
+                    config.gpus_per_node;
+  SimTime inter = 0;
+  if (nodes > 1) {
+    const double shard = payload / g;
+    inter = 2.0 * shard * (nodes - 1) / nodes / config.ib_bandwidth_per_gpu +
+            2.0 * (nodes - 1) * config.ib_latency;
+  }
+  return intra + inter + config.step_launch_overhead;
+}
+
+GpuStepBreakdown GpuStepTime(const GpuSystemConfig& config,
+                             const models::ModelSpec& spec, int num_gpus,
+                             std::int64_t global_batch) {
+  TPU_CHECK_GT(num_gpus, 0);
+  GpuStepBreakdown step;
+  const double per_gpu_batch =
+      static_cast<double>(global_batch) / num_gpus;
+  const double utilization =
+      config.peak_fraction * per_gpu_batch /
+      (per_gpu_batch + config.batch_half_saturation);
+  step.compute = spec.flops_per_example * per_gpu_batch /
+                     (config.peak_flops * std::max(utilization, 1e-3)) +
+                 config.step_launch_overhead;
+  step.allreduce =
+      GpuAllReduceSeconds(config, num_gpus, spec.gradient_elements() * 2);
+  if (spec.embedding_parameters > 0) {
+    // Partitioned embedding tables: per-step all-to-all of activations and
+    // gradients crosses the IB fabric (NVLink islands only help 1/nodes of
+    // the traffic).
+    const double bytes =
+        static_cast<double>(global_batch) * 26 * 128 * 4 * 2;
+    const double fabric =
+        static_cast<double>(num_gpus) * config.ib_bandwidth_per_gpu;
+    step.embedding_comm = bytes / 2 / fabric + config.ib_latency * 8;
+  }
+  return step;
+}
+
+double GpuEndToEndMinutes(const GpuSystemConfig& config,
+                          const models::ModelSpec& spec, int num_gpus,
+                          std::int64_t global_batch) {
+  const std::int64_t steps = spec.StepsToConverge(global_batch);
+  const GpuStepBreakdown step = GpuStepTime(config, spec, num_gpus,
+                                            global_batch);
+  // Evaluation schedule, mirroring the TPU model: ~every 4 epochs (20 fixed
+  // points for DLRM), with per-eval forward passes and loop overhead.
+  const double epochs = spec.EpochsToConverge(global_batch);
+  const int num_evals = spec.embedding_parameters > 0
+                            ? 20
+                            : std::max(5, static_cast<int>(epochs / 4.0));
+  const double cluster_flops =
+      config.peak_flops * config.peak_fraction * num_gpus;
+  const SimTime eval_seconds =
+      num_evals * (spec.eval_examples * spec.eval_flops_per_example /
+                       cluster_flops +
+                   Millis(500));
+  return ToMinutes(steps * step.step() + eval_seconds);
+}
+
+std::vector<PublishedGpuResult> NvidiaV07Results(models::Benchmark benchmark) {
+  // Approximate transcriptions of NVIDIA's MLPerf v0.7 "Available On-prem"
+  // submissions (A100 Selene / V100 DGX SuperPOD), in minutes.
+  switch (benchmark) {
+    case models::Benchmark::kResNet50:
+      return {{"A100", 1536, 0.83}, {"V100", 1536, 1.93}};
+    case models::Benchmark::kBert:
+      return {{"A100", 2048, 0.81}, {"V100", 1472, 3.36}};
+    case models::Benchmark::kSsd:
+      return {{"A100", 1024, 0.82}, {"V100", 1024, 2.67}};
+    case models::Benchmark::kTransformer:
+      return {{"A100", 480, 1.02}, {"V100", 480, 1.90}};
+    case models::Benchmark::kMaskRcnn:
+      return {{"A100", 256, 10.46}, {"V100", 192, 18.5}};
+    case models::Benchmark::kDlrm:
+      return {{"A100", 16, 3.33}, {"V100", 16, 4.4}};
+  }
+  return {};
+}
+
+}  // namespace tpu::gpu

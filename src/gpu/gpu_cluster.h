@@ -1,0 +1,72 @@
+// GPU cluster baseline for the cross-vendor comparisons (Figures 10, 11).
+//
+// Models an NVIDIA-style cluster: islands of 8 GPUs with all-to-all NVLink
+// inside a node, and a ring all-reduce across nodes over InfiniBand rails
+// (the NCCL hierarchical schedule). The structural difference from the TPU
+// multipod — a very fast small island feeding a much slower inter-node
+// fabric with O(nodes) latency — is what produces the different scaling
+// regime Figure 11 exhibits.
+//
+// Published MLPerf v0.7 NVIDIA submissions are carried as constants for the
+// absolute-time bars of Figure 10 (approximate transcriptions; see
+// EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "models/model_specs.h"
+
+namespace tpu::gpu {
+
+struct GpuSystemConfig {
+  std::string name = "A100";
+  int gpus_per_node = 8;
+  double peak_flops = 312e12;          // A100 bf16 dense
+  double peak_fraction = 0.45;         // achievable fraction at large batch
+  double batch_half_saturation = 16;   // per-GPU batch where util halves
+  Bandwidth nvlink_bandwidth = GBps(300);  // per GPU, intra-node
+  SimTime nvlink_latency = Micros(2.0);
+  Bandwidth ib_bandwidth_per_gpu = GBps(25);  // per-GPU IB rail share
+  SimTime ib_latency = Micros(5.0);
+  SimTime step_launch_overhead = Micros(30);  // kernel launch / NCCL setup
+
+  static GpuSystemConfig A100();
+  static GpuSystemConfig V100();
+};
+
+// Hierarchical all-reduce: intra-node reduce-scatter (NVLink), inter-node
+// ring over the per-GPU IB rails on the 1/8 shards, intra-node all-gather.
+SimTime GpuAllReduceSeconds(const GpuSystemConfig& config, int num_gpus,
+                            Bytes payload_bytes);
+
+struct GpuStepBreakdown {
+  SimTime compute = 0;
+  SimTime allreduce = 0;
+  SimTime embedding_comm = 0;  // DLRM partitioned-table all-to-all over IB
+  SimTime step() const { return compute + allreduce + embedding_comm; }
+};
+
+// Per-step time of a data-parallel model on `num_gpus`.
+GpuStepBreakdown GpuStepTime(const GpuSystemConfig& config,
+                             const models::ModelSpec& spec, int num_gpus,
+                             std::int64_t global_batch);
+
+// End-to-end training minutes: steps-to-converge x step time plus the same
+// evaluation-schedule overheads the TPU model carries (so the cross-vendor
+// comparison is apples-to-apples).
+double GpuEndToEndMinutes(const GpuSystemConfig& config,
+                          const models::ModelSpec& spec, int num_gpus,
+                          std::int64_t global_batch);
+
+// Published MLPerf v0.7 NVIDIA results (approximate, minutes).
+struct PublishedGpuResult {
+  std::string system;  // "A100" or "V100"
+  int accelerators = 0;
+  double minutes = 0;
+};
+std::vector<PublishedGpuResult> NvidiaV07Results(models::Benchmark benchmark);
+
+}  // namespace tpu::gpu

@@ -1,0 +1,195 @@
+#include "hlo/cost_model.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace tpu::hlo {
+namespace {
+
+constexpr tensor::Index kMxuDim = 128;
+// bf16 accounting at the op level (activations and weights are bf16 on-chip
+// per Section 4.1).
+constexpr Bytes kElemBytes = 2;
+
+}  // namespace
+
+OpCost& OpCost::operator+=(const OpCost& other) {
+  // Aggregate utilization as the flop-weighted mean over MXU ops.
+  const Flops mxu_flops_self = uses_mxu ? flops : 0;
+  const Flops mxu_flops_other = other.uses_mxu ? other.flops : 0;
+  if (mxu_flops_self + mxu_flops_other > 0) {
+    mxu_utilization = (mxu_utilization * mxu_flops_self +
+                       other.mxu_utilization * mxu_flops_other) /
+                      (mxu_flops_self + mxu_flops_other);
+    uses_mxu = true;
+  }
+  flops += other.flops;
+  bytes += other.bytes;
+  return *this;
+}
+
+double MxuUtilization(tensor::Index m, tensor::Index k, tensor::Index n) {
+  if (m <= 0 || k <= 0 || n <= 0) return 1e-3;
+  const double um = static_cast<double>(m) / RoundUp(m, kMxuDim);
+  const double un = static_cast<double>(n) / RoundUp(n, kMxuDim);
+  // The contraction dimension pipelines through the array; short k only
+  // costs pipeline fill, modeled as k / (k + 128).
+  const double uk = static_cast<double>(k) / (k + kMxuDim);
+  return um * un * uk;
+}
+
+SimTime TpuCoreModel::SecondsFor(const OpCost& cost) const {
+  const double peak =
+      cost.uses_mxu ? peak_mxu_flops * std::max(cost.mxu_utilization, 1e-3)
+                    : peak_vector_flops;
+  const SimTime compute = cost.flops > 0 ? cost.flops / peak : 0.0;
+  const SimTime memory =
+      hbm_bandwidth > 0 ? static_cast<double>(cost.bytes) / hbm_bandwidth : 0.0;
+  return std::max(compute, memory) + op_overhead;
+}
+
+OpCost ElementwiseCost(tensor::Index elems, int arity, bool transcendental) {
+  OpCost cost;
+  cost.flops = static_cast<Flops>(elems) * (transcendental ? 8 : 1);
+  cost.bytes = elems * kElemBytes * (arity + 1);
+  return cost;
+}
+
+OpCost SoftmaxCost(tensor::Index elems) {
+  OpCost cost;
+  cost.flops = static_cast<Flops>(elems) * 12;  // max, exp, sum, divide
+  cost.bytes = elems * kElemBytes * 3;
+  return cost;
+}
+
+OpCost ReduceCost(tensor::Index in_elems, tensor::Index out_elems) {
+  OpCost cost;
+  cost.flops = static_cast<Flops>(in_elems);
+  cost.bytes = (in_elems + out_elems) * kElemBytes;
+  return cost;
+}
+
+OpCost TransposeCost(tensor::Index elems) {
+  OpCost cost;
+  cost.bytes = elems * kElemBytes * 2;
+  return cost;
+}
+
+OpCost DotCost(tensor::Index m, tensor::Index k, tensor::Index n) {
+  OpCost cost;
+  cost.flops = 2.0 * m * k * n;
+  cost.bytes = (m * k + k * n + m * n) * kElemBytes;
+  cost.uses_mxu = true;
+  cost.mxu_utilization = MxuUtilization(m, k, n);
+  return cost;
+}
+
+OpCost Conv2DCost(tensor::Index batch, tensor::Index ho, tensor::Index wo,
+                  tensor::Index co, tensor::Index kh, tensor::Index kw,
+                  tensor::Index ci, tensor::Index in_elems) {
+  OpCost cost;
+  cost.flops = 2.0 * batch * ho * wo * co * kh * kw * ci;
+  cost.bytes =
+      (in_elems + kh * kw * ci * co + batch * ho * wo * co) * kElemBytes;
+  cost.uses_mxu = true;
+  // Convs lower to matmuls of (batch*ho*wo) x (kh*kw*ci) x co.
+  cost.mxu_utilization = MxuUtilization(batch * ho * wo, kh * kw * ci, co);
+  return cost;
+}
+
+OpCost TopKCost(tensor::Index in_elems, tensor::Index out_elems,
+                tensor::Index k) {
+  OpCost cost;
+  const tensor::Index logk =
+      std::max<tensor::Index>(1, Log2Floor(std::max<tensor::Index>(2, k)));
+  cost.flops = static_cast<Flops>(in_elems) * logk * 4;  // vector sort network
+  cost.bytes = (in_elems + out_elems) * kElemBytes;
+  return cost;
+}
+
+OpCost CostOf(const HloModule& module, const HloInstruction& instr) {
+  auto operand_shape = [&](int i) -> const Shape& {
+    return module.instr(instr.operands[i]).shape;
+  };
+  switch (instr.opcode) {
+    case Opcode::kParameter:
+    case Opcode::kConstant:
+    case Opcode::kReshape:  // layout no-op on TPU
+      return {};
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+      return ElementwiseCost(NumElements(instr.shape), 2, false);
+    case Opcode::kRelu:
+    case Opcode::kScale:
+      return ElementwiseCost(NumElements(instr.shape), 1, false);
+    case Opcode::kTanh:
+    case Opcode::kExp:
+      return ElementwiseCost(NumElements(instr.shape), 1, true);
+    case Opcode::kSoftmax:
+      return SoftmaxCost(NumElements(instr.shape));
+    case Opcode::kReduceSum:
+      return ReduceCost(NumElements(operand_shape(0)),
+                        NumElements(instr.shape));
+    case Opcode::kTranspose:
+      return TransposeCost(NumElements(instr.shape));
+    case Opcode::kDot:
+    case Opcode::kOneHotGather: {
+      const Shape& a = operand_shape(0);
+      const Shape& b = operand_shape(1);
+      return DotCost(a[0], a[1], b[1]);
+    }
+    case Opcode::kConv2D: {
+      const Shape& in = operand_shape(0);
+      const Shape& kshape = operand_shape(1);
+      return Conv2DCost(instr.shape[0], instr.shape[1], instr.shape[2],
+                        instr.shape[3], kshape[0], kshape[1], kshape[2],
+                        NumElements(in));
+    }
+    case Opcode::kTopK:
+      return TopKCost(NumElements(operand_shape(0)), NumElements(instr.shape),
+                      instr.k);
+    case Opcode::kBatchMatMul: {
+      const Shape& a = operand_shape(0);
+      const tensor::Index contracted = a[2];
+      OpCost cost = DotCost(a[1], contracted, instr.shape[2]);
+      cost.flops *= a[0];
+      cost.bytes = (NumElements(a) + NumElements(operand_shape(1)) +
+                    NumElements(instr.shape)) * 2;
+      return cost;
+    }
+    case Opcode::kSplitHeads:
+    case Opcode::kMergeHeads:
+      return TransposeCost(NumElements(instr.shape));
+  }
+  return {};
+}
+
+ModuleCost CostOfModule(const HloModule& module, const TpuCoreModel& core) {
+  ModuleCost result;
+  for (const HloInstruction& instr : module.instructions()) {
+    if (instr.opcode == Opcode::kParameter ||
+        instr.opcode == Opcode::kConstant) {
+      continue;
+    }
+    const OpCost cost = CostOf(module, instr);
+    result.total += cost;
+    result.seconds += core.SecondsFor(cost);
+    ++result.ops;
+  }
+  return result;
+}
+
+OpCost NonContiguousGatherCost(tensor::Index rows, tensor::Index width,
+                               Bytes bytes_per_elem) {
+  OpCost cost;
+  // The TPU-v3 non-contiguous gather path runs on the scalar/vector units at
+  // ~2% of streaming HBM bandwidth (each row is a separate short DMA);
+  // model that as 50x the streamed byte count.
+  cost.bytes = rows * width * bytes_per_elem * 50;
+  cost.flops = 0;
+  return cost;
+}
+
+}  // namespace tpu::hlo

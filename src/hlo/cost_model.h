@@ -1,0 +1,76 @@
+// Analytic TPU-v3 core cost model.
+//
+// Substitutes for real hardware timing (substitution table in DESIGN.md):
+// each HLO instruction gets a FLOP count, memory traffic, and an MXU
+// utilization estimate from its shapes; a roofline over peak matrix-unit
+// throughput and HBM bandwidth converts that to simulated seconds. The
+// small-tile utilization rolloff (tiles below the 128x128 systolic array)
+// is what produces the compute-efficiency loss at small per-core batch that
+// Figures 6 and 8 exhibit.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "hlo/hlo.h"
+
+namespace tpu::hlo {
+
+struct OpCost {
+  Flops flops = 0;
+  Bytes bytes = 0;              // HBM traffic: operands read + output written
+  double mxu_utilization = 1.0; // fraction of peak MXU throughput achievable
+  bool uses_mxu = false;        // matrix unit vs vector unit
+
+  OpCost& operator+=(const OpCost& other);
+};
+
+// TPU-v3 per-core parameters (one chip = two cores). Peak numbers follow the
+// published TPU-v3 specs: ~123 TFLOP/s bf16 and ~900 GB/s HBM per chip.
+struct TpuCoreModel {
+  double peak_mxu_flops = 61.5e12;    // bf16 matrix unit, per core
+  double peak_vector_flops = 1.5e12;  // vector unit, per core
+  double hbm_bandwidth = 450e9;       // bytes/s, per core
+  Bytes bytes_per_elem = 2;           // bf16 activations (Section 4.1)
+  SimTime op_overhead = Micros(0.5);  // fixed per-op issue overhead
+
+  // Roofline execution time for one op.
+  SimTime SecondsFor(const OpCost& cost) const;
+};
+
+// Shape-level cost helpers. These are shared with the SPMD partitioner,
+// which evaluates them on *local* (per-partition) shapes.
+OpCost ElementwiseCost(tensor::Index elems, int arity, bool transcendental);
+OpCost SoftmaxCost(tensor::Index elems);
+OpCost ReduceCost(tensor::Index in_elems, tensor::Index out_elems);
+OpCost TransposeCost(tensor::Index elems);
+OpCost DotCost(tensor::Index m, tensor::Index k, tensor::Index n);
+OpCost Conv2DCost(tensor::Index batch, tensor::Index ho, tensor::Index wo,
+                  tensor::Index co, tensor::Index kh, tensor::Index kw,
+                  tensor::Index ci, tensor::Index in_elems);
+OpCost TopKCost(tensor::Index in_elems, tensor::Index out_elems,
+                tensor::Index k);
+
+// Cost of a single instruction (parameters/constants are free).
+OpCost CostOf(const HloModule& module, const HloInstruction& instr);
+
+// Summed cost over the module, plus total roofline seconds on `core`.
+struct ModuleCost {
+  OpCost total;
+  SimTime seconds = 0;
+  int ops = 0;
+};
+ModuleCost CostOfModule(const HloModule& module, const TpuCoreModel& core);
+
+// MXU utilization for a (m x k) . (k x n) contraction: tiles smaller than
+// the 128x128 systolic array waste the remainder of the array.
+double MxuUtilization(tensor::Index m, tensor::Index k, tensor::Index n);
+
+// Cost of a *non-contiguous* row gather (rows x width elements) executed on
+// the memory system instead of the MXU — the slow path that Section 4.5's
+// one-hot-matmul optimization replaces. Non-contiguous access achieves only
+// a small fraction of HBM bandwidth.
+OpCost NonContiguousGatherCost(tensor::Index rows, tensor::Index width,
+                               Bytes bytes_per_elem);
+
+}  // namespace tpu::hlo

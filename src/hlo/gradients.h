@@ -1,0 +1,44 @@
+// Reverse-mode differentiation over the mini-HLO IR — the role XLA's
+// training graphs play in the paper's benchmarks (every per-step cost is
+// forward + backward). Gradients are computed numerically by the evaluator:
+// a forward pass stores every activation, then vector-Jacobian products run
+// in reverse topological order.
+//
+// Convention: the loss is the SUM of the root instruction's elements, so
+// the backward pass is seeded with ones. Wrap the root in the reduction of
+// your choice to express other losses.
+//
+// Every rule is verified against central finite differences in the tests.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "hlo/hlo.h"
+#include "tensor/tensor.h"
+
+namespace tpu::hlo {
+
+struct ForwardBackwardResult {
+  tensor::Tensor root_value;
+  double loss = 0;  // sum of root elements
+  // Gradient of the loss w.r.t. each parameter, in declaration order.
+  std::vector<tensor::Tensor> param_grads;
+  // FLOPs of the backward pass (for step-cost accounting): roughly 2x the
+  // forward contraction FLOPs, matching the usual fwd:bwd = 1:2 rule.
+  Flops backward_flops = 0;
+};
+
+// Differentiable opcodes: everything except kTopK (piecewise-constant
+// selection; its gradient is treated as zero, and a CHECK fires if a
+// parameter's only path to the root passes through one).
+ForwardBackwardResult EvaluateWithGradients(
+    const HloModule& module, const std::vector<tensor::Tensor>& params);
+
+// Central finite-difference gradient of the summed root w.r.t. parameter
+// `param_index` (test utility; O(elements) forward evaluations).
+tensor::Tensor FiniteDifferenceGradient(const HloModule& module,
+                                        const std::vector<tensor::Tensor>& params,
+                                        int param_index, float epsilon = 1e-3f);
+
+}  // namespace tpu::hlo

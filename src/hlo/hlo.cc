@@ -1,0 +1,418 @@
+#include "hlo/hlo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tpu::hlo {
+
+const char* OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kParameter: return "parameter";
+    case Opcode::kConstant: return "constant";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kRelu: return "relu";
+    case Opcode::kTanh: return "tanh";
+    case Opcode::kExp: return "exp";
+    case Opcode::kScale: return "scale";
+    case Opcode::kDot: return "dot";
+    case Opcode::kConv2D: return "conv2d";
+    case Opcode::kReduceSum: return "reduce-sum";
+    case Opcode::kSoftmax: return "softmax";
+    case Opcode::kReshape: return "reshape";
+    case Opcode::kTranspose: return "transpose";
+    case Opcode::kOneHotGather: return "onehot-gather";
+    case Opcode::kTopK: return "top-k";
+    case Opcode::kBatchMatMul: return "batch-matmul";
+    case Opcode::kSplitHeads: return "split-heads";
+    case Opcode::kMergeHeads: return "merge-heads";
+  }
+  return "?";
+}
+
+const tensor::Tensor& HloModule::constant_value(InstrId id) const {
+  TPU_CHECK_GE(id, 0);
+  TPU_CHECK_LT(id, static_cast<InstrId>(constant_index_.size()));
+  const int index = constant_index_[id];
+  TPU_CHECK_GE(index, 0) << "instruction " << id << " is not a constant";
+  return constants_[index];
+}
+
+InstrId HloModule::Emit(HloInstruction instr) {
+  instr.id = static_cast<InstrId>(instrs_.size());
+  for (InstrId operand : instr.operands) {
+    TPU_CHECK_GE(operand, 0);
+    TPU_CHECK_LT(operand, instr.id) << "operands must precede users";
+  }
+  instrs_.push_back(std::move(instr));
+  constant_index_.push_back(-1);
+  return instrs_.back().id;
+}
+
+InstrId HloModule::Parameter(Shape shape, std::string name) {
+  HloInstruction instr;
+  instr.opcode = Opcode::kParameter;
+  instr.shape = std::move(shape);
+  instr.name = std::move(name);
+  ++num_parameters_;
+  return Emit(std::move(instr));
+}
+
+InstrId HloModule::Constant(tensor::Tensor value, std::string name) {
+  HloInstruction instr;
+  instr.opcode = Opcode::kConstant;
+  instr.shape = value.shape();
+  instr.name = std::move(name);
+  const InstrId id = Emit(std::move(instr));
+  constant_index_[id] = static_cast<int>(constants_.size());
+  constants_.push_back(std::move(value));
+  return id;
+}
+
+namespace {
+
+HloInstruction Elementwise(Opcode opcode, const HloInstruction& a,
+                           const HloInstruction* b) {
+  HloInstruction instr;
+  instr.opcode = opcode;
+  instr.shape = a.shape;
+  instr.operands = {a.id};
+  if (b != nullptr) {
+    TPU_CHECK(a.shape == b->shape)
+        << OpcodeName(opcode) << ": shape mismatch";
+    instr.operands.push_back(b->id);
+  }
+  return instr;
+}
+
+}  // namespace
+
+InstrId HloModule::Add(InstrId a, InstrId b) {
+  return Emit(Elementwise(Opcode::kAdd, Operand(a), &Operand(b)));
+}
+InstrId HloModule::Sub(InstrId a, InstrId b) {
+  return Emit(Elementwise(Opcode::kSub, Operand(a), &Operand(b)));
+}
+InstrId HloModule::Mul(InstrId a, InstrId b) {
+  return Emit(Elementwise(Opcode::kMul, Operand(a), &Operand(b)));
+}
+InstrId HloModule::Relu(InstrId a) {
+  return Emit(Elementwise(Opcode::kRelu, Operand(a), nullptr));
+}
+InstrId HloModule::Tanh(InstrId a) {
+  return Emit(Elementwise(Opcode::kTanh, Operand(a), nullptr));
+}
+InstrId HloModule::Exp(InstrId a) {
+  return Emit(Elementwise(Opcode::kExp, Operand(a), nullptr));
+}
+InstrId HloModule::Scale(InstrId a, float scale) {
+  HloInstruction instr = Elementwise(Opcode::kScale, Operand(a), nullptr);
+  instr.scale = scale;
+  return Emit(std::move(instr));
+}
+
+InstrId HloModule::Dot(InstrId a, InstrId b) {
+  const HloInstruction& lhs = Operand(a);
+  const HloInstruction& rhs = Operand(b);
+  TPU_CHECK_EQ(lhs.shape.size(), 2u);
+  TPU_CHECK_EQ(rhs.shape.size(), 2u);
+  TPU_CHECK_EQ(lhs.shape[1], rhs.shape[0]) << "dot contraction mismatch";
+  HloInstruction instr;
+  instr.opcode = Opcode::kDot;
+  instr.shape = {lhs.shape[0], rhs.shape[1]};
+  instr.operands = {a, b};
+  return Emit(std::move(instr));
+}
+
+InstrId HloModule::Conv2D(InstrId input, InstrId kernel, tensor::Index stride,
+                          bool same_padding) {
+  const HloInstruction& in = Operand(input);
+  const HloInstruction& k = Operand(kernel);
+  TPU_CHECK_EQ(in.shape.size(), 4u);
+  TPU_CHECK_EQ(k.shape.size(), 4u);
+  TPU_CHECK_EQ(in.shape[3], k.shape[2]) << "conv channel mismatch";
+  HloInstruction instr;
+  instr.opcode = Opcode::kConv2D;
+  instr.operands = {input, kernel};
+  instr.conv.stride_h = stride;
+  instr.conv.stride_w = stride;
+  if (same_padding) {
+    // SAME: output spatial = ceil(input / stride).
+    auto pad_for = [&](tensor::Index size, tensor::Index ksize,
+                       tensor::Index* lo, tensor::Index* hi) {
+      const tensor::Index out = (size + stride - 1) / stride;
+      const tensor::Index total =
+          std::max<tensor::Index>(0, (out - 1) * stride + ksize - size);
+      *lo = total / 2;
+      *hi = total - total / 2;
+    };
+    pad_for(in.shape[1], k.shape[0], &instr.conv.pad_top,
+            &instr.conv.pad_bottom);
+    pad_for(in.shape[2], k.shape[1], &instr.conv.pad_left,
+            &instr.conv.pad_right);
+  }
+  const tensor::Index ho = tensor::ConvOutputSize(
+      in.shape[1], k.shape[0], stride, instr.conv.pad_top,
+      instr.conv.pad_bottom);
+  const tensor::Index wo = tensor::ConvOutputSize(
+      in.shape[2], k.shape[1], stride, instr.conv.pad_left,
+      instr.conv.pad_right);
+  instr.shape = {in.shape[0], ho, wo, k.shape[3]};
+  return Emit(std::move(instr));
+}
+
+InstrId HloModule::ReduceSum(InstrId a, tensor::Index axis) {
+  const HloInstruction& in = Operand(a);
+  TPU_CHECK_GE(axis, 0);
+  TPU_CHECK_LT(axis, static_cast<tensor::Index>(in.shape.size()));
+  HloInstruction instr;
+  instr.opcode = Opcode::kReduceSum;
+  instr.operands = {a};
+  instr.axis = axis;
+  for (std::size_t i = 0; i < in.shape.size(); ++i) {
+    if (static_cast<tensor::Index>(i) != axis) {
+      instr.shape.push_back(in.shape[i]);
+    }
+  }
+  return Emit(std::move(instr));
+}
+
+InstrId HloModule::Softmax(InstrId a) {
+  return Emit(Elementwise(Opcode::kSoftmax, Operand(a), nullptr));
+}
+
+InstrId HloModule::Reshape(InstrId a, Shape new_shape) {
+  const HloInstruction& in = Operand(a);
+  TPU_CHECK_EQ(NumElements(in.shape), NumElements(new_shape));
+  HloInstruction instr;
+  instr.opcode = Opcode::kReshape;
+  instr.shape = std::move(new_shape);
+  instr.operands = {a};
+  return Emit(std::move(instr));
+}
+
+InstrId HloModule::Transpose(InstrId a) {
+  const HloInstruction& in = Operand(a);
+  TPU_CHECK_EQ(in.shape.size(), 2u);
+  HloInstruction instr;
+  instr.opcode = Opcode::kTranspose;
+  instr.shape = {in.shape[1], in.shape[0]};
+  instr.operands = {a};
+  return Emit(std::move(instr));
+}
+
+InstrId HloModule::OneHotGather(InstrId onehot, InstrId data) {
+  const HloInstruction& oh = Operand(onehot);
+  const HloInstruction& d = Operand(data);
+  TPU_CHECK_EQ(oh.shape.size(), 2u);
+  TPU_CHECK_EQ(d.shape.size(), 2u);
+  TPU_CHECK_EQ(oh.shape[1], d.shape[0]);
+  HloInstruction instr;
+  instr.opcode = Opcode::kOneHotGather;
+  instr.shape = {oh.shape[0], d.shape[1]};
+  instr.operands = {onehot, data};
+  return Emit(std::move(instr));
+}
+
+InstrId HloModule::TopK(InstrId a, tensor::Index k) {
+  const HloInstruction& in = Operand(a);
+  TPU_CHECK_GE(in.shape.size(), 1u);
+  TPU_CHECK_LE(k, in.shape.back());
+  HloInstruction instr;
+  instr.opcode = Opcode::kTopK;
+  instr.shape = in.shape;
+  instr.shape.back() = k;
+  instr.operands = {a};
+  instr.k = k;
+  return Emit(std::move(instr));
+}
+
+InstrId HloModule::BatchMatMul(InstrId a, InstrId b, bool transpose_rhs) {
+  const HloInstruction& lhs = Operand(a);
+  const HloInstruction& rhs = Operand(b);
+  TPU_CHECK_EQ(lhs.shape.size(), 3u);
+  TPU_CHECK_EQ(rhs.shape.size(), 3u);
+  TPU_CHECK_EQ(lhs.shape[0], rhs.shape[0]);
+  const tensor::Index contracted = transpose_rhs ? rhs.shape[2] : rhs.shape[1];
+  TPU_CHECK_EQ(lhs.shape[2], contracted) << "batch-matmul contraction";
+  HloInstruction instr;
+  instr.opcode = Opcode::kBatchMatMul;
+  instr.shape = {lhs.shape[0], lhs.shape[1],
+                 transpose_rhs ? rhs.shape[1] : rhs.shape[2]};
+  instr.operands = {a, b};
+  instr.transpose_rhs = transpose_rhs;
+  return Emit(std::move(instr));
+}
+
+InstrId HloModule::SplitHeads(InstrId a, tensor::Index heads) {
+  const HloInstruction& in = Operand(a);
+  TPU_CHECK_EQ(in.shape.size(), 2u);
+  TPU_CHECK_GT(heads, 0);
+  TPU_CHECK_EQ(in.shape[1] % heads, 0);
+  HloInstruction instr;
+  instr.opcode = Opcode::kSplitHeads;
+  instr.shape = {heads, in.shape[0], in.shape[1] / heads};
+  instr.operands = {a};
+  instr.k = heads;
+  return Emit(std::move(instr));
+}
+
+InstrId HloModule::MergeHeads(InstrId a) {
+  const HloInstruction& in = Operand(a);
+  TPU_CHECK_EQ(in.shape.size(), 3u);
+  HloInstruction instr;
+  instr.opcode = Opcode::kMergeHeads;
+  instr.shape = {in.shape[1], in.shape[0] * in.shape[2]};
+  instr.operands = {a};
+  return Emit(std::move(instr));
+}
+
+InstrId HloModule::CloneFrom(const HloModule& source, InstrId id,
+                             const std::vector<InstrId>& new_operands) {
+  const HloInstruction& original = source.instr(id);
+  TPU_CHECK_EQ(new_operands.size(), original.operands.size());
+  if (original.opcode == Opcode::kConstant) {
+    TPU_CHECK(new_operands.empty());
+    return Constant(source.constant_value(id), original.name);
+  }
+  if (original.opcode == Opcode::kParameter) {
+    TPU_CHECK(new_operands.empty());
+    return Parameter(original.shape, original.name);
+  }
+  HloInstruction instr = original;
+  instr.operands = new_operands;
+  return Emit(std::move(instr));
+}
+
+std::string HloModule::ToString() const {
+  std::ostringstream os;
+  os << "HloModule " << name_ << " {\n";
+  for (const HloInstruction& instr : instrs_) {
+    os << "  %" << instr.id << " = " << OpcodeName(instr.opcode) << "[";
+    for (std::size_t i = 0; i < instr.shape.size(); ++i) {
+      if (i > 0) os << ",";
+      os << instr.shape[i];
+    }
+    os << "](";
+    for (std::size_t i = 0; i < instr.operands.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "%" << instr.operands[i];
+    }
+    os << ")";
+    if (!instr.name.empty()) os << " // " << instr.name;
+    os << "\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::vector<tensor::Tensor> EvaluateAll(
+    const HloModule& module, const std::vector<tensor::Tensor>& params) {
+  TPU_CHECK_EQ(static_cast<int>(params.size()), module.num_parameters());
+  std::vector<tensor::Tensor> values(module.instructions().size());
+  int param_index = 0;
+  for (const HloInstruction& instr : module.instructions()) {
+    auto operand = [&](int i) -> const tensor::Tensor& {
+      return values[instr.operands[i]];
+    };
+    switch (instr.opcode) {
+      case Opcode::kParameter: {
+        const tensor::Tensor& p = params[param_index++];
+        TPU_CHECK(p.shape() == instr.shape)
+            << "parameter " << instr.name << " shape mismatch: got "
+            << p.ShapeString();
+        values[instr.id] = p;
+        break;
+      }
+      case Opcode::kConstant:
+        values[instr.id] = module.constant_value(instr.id);
+        break;
+      case Opcode::kAdd:
+        values[instr.id] = tensor::Add(operand(0), operand(1));
+        break;
+      case Opcode::kSub:
+        values[instr.id] = tensor::Sub(operand(0), operand(1));
+        break;
+      case Opcode::kMul:
+        values[instr.id] = tensor::Mul(operand(0), operand(1));
+        break;
+      case Opcode::kRelu:
+        values[instr.id] = tensor::Relu(operand(0));
+        break;
+      case Opcode::kTanh:
+        values[instr.id] = tensor::Tanh(operand(0));
+        break;
+      case Opcode::kExp:
+        values[instr.id] = tensor::Exp(operand(0));
+        break;
+      case Opcode::kScale:
+        values[instr.id] = tensor::Scale(operand(0), instr.scale);
+        break;
+      case Opcode::kDot:
+        values[instr.id] = tensor::MatMul(operand(0), operand(1));
+        break;
+      case Opcode::kConv2D:
+        values[instr.id] = tensor::Conv2D(operand(0), operand(1), instr.conv);
+        break;
+      case Opcode::kReduceSum:
+        values[instr.id] = tensor::ReduceSum(operand(0), instr.axis);
+        break;
+      case Opcode::kSoftmax:
+        values[instr.id] = tensor::Softmax(operand(0));
+        break;
+      case Opcode::kReshape:
+        values[instr.id] = tensor::Reshape(operand(0), instr.shape);
+        break;
+      case Opcode::kTranspose:
+        values[instr.id] = tensor::Transpose2D(operand(0));
+        break;
+      case Opcode::kOneHotGather:
+        values[instr.id] = tensor::MatMul(operand(0), operand(1));
+        break;
+      case Opcode::kBatchMatMul:
+        values[instr.id] =
+            tensor::BatchMatMul(operand(0), operand(1), instr.transpose_rhs);
+        break;
+      case Opcode::kSplitHeads:
+        values[instr.id] = tensor::SplitHeads(operand(0), instr.k);
+        break;
+      case Opcode::kMergeHeads:
+        values[instr.id] = tensor::MergeHeads(operand(0));
+        break;
+      case Opcode::kTopK: {
+        const tensor::Tensor& in = operand(0);
+        const tensor::Index last = in.shape().back();
+        const tensor::Index rows = in.num_elements() / last;
+        tensor::Tensor out(instr.shape);
+        std::vector<float> row(last);
+        for (tensor::Index r = 0; r < rows; ++r) {
+          for (tensor::Index j = 0; j < last; ++j) {
+            row[j] = in.flat(r * last + j);
+          }
+          std::partial_sort(row.begin(), row.begin() + instr.k, row.end(),
+                            std::greater<float>());
+          for (tensor::Index j = 0; j < instr.k; ++j) {
+            out.flat(r * instr.k + j) = row[j];
+          }
+        }
+        values[instr.id] = std::move(out);
+        break;
+      }
+    }
+    TPU_CHECK(values[instr.id].shape() == instr.shape)
+        << "shape inference mismatch at %" << instr.id << " "
+        << OpcodeName(instr.opcode) << ": inferred "
+        << NumElements(instr.shape) << " got "
+        << values[instr.id].ShapeString();
+  }
+  return values;
+}
+
+tensor::Tensor Evaluate(const HloModule& module,
+                        const std::vector<tensor::Tensor>& params) {
+  return EvaluateAll(module, params)[module.root()];
+}
+
+}  // namespace tpu::hlo

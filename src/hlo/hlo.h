@@ -1,0 +1,145 @@
+// Mini-HLO: a small operator graph IR standing in for XLA's HLO.
+//
+// It carries just enough structure for the paper's techniques to be
+// implemented and tested against it: dense contractions (dot, conv2d) that
+// the SPMD partitioner splits, elementwise/reduction/softmax glue, and the
+// two op patterns Section 4.5 singles out (gather executed as one-hot matmul,
+// top-k). Every instruction has a static shape; a reference evaluator
+// executes modules on dense tensors, and a cost model assigns FLOP/byte
+// counts used by the simulated step-time model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "tensor/tensor.h"
+
+namespace tpu::hlo {
+
+using Shape = std::vector<tensor::Index>;
+using InstrId = std::int32_t;
+
+inline tensor::Index NumElements(const Shape& shape) {
+  tensor::Index n = 1;
+  for (tensor::Index d : shape) n *= d;
+  return n;
+}
+
+enum class Opcode {
+  kParameter,
+  kConstant,
+  kAdd,
+  kSub,
+  kMul,
+  kRelu,
+  kTanh,
+  kExp,
+  kScale,      // multiply by a compile-time scalar
+  kDot,        // [m,k] x [k,n] -> [m,n]
+  kConv2D,     // NHWC x HWIO
+  kReduceSum,  // remove one axis
+  kSoftmax,    // over last axis
+  kReshape,
+  kTranspose,     // 2-D
+  kOneHotGather,  // row gather as one-hot matmul: [m,n] x [n,d] -> [m,d]
+  kTopK,          // top-k over last axis (values only)
+  kBatchMatMul,   // [b,m,k] x [b,k,n] (or [b,n,k] with transpose_rhs)
+  kSplitHeads,    // [t, h*d] -> [h, t, d]
+  kMergeHeads,    // [h, t, d] -> [t, h*d]
+};
+
+const char* OpcodeName(Opcode opcode);
+
+struct HloInstruction {
+  InstrId id = -1;
+  Opcode opcode = Opcode::kParameter;
+  Shape shape;
+  std::vector<InstrId> operands;
+  std::string name;
+
+  // Opcode-specific attributes.
+  tensor::Index axis = -1;           // kReduceSum
+  tensor::Index k = 0;               // kTopK / kSplitHeads (head count)
+  bool transpose_rhs = false;        // kBatchMatMul
+  float scale = 1.0f;                // kScale
+  tensor::Conv2DConfig conv;         // kConv2D (explicit padding)
+};
+
+// A module is a DAG in topological order (operands always precede users).
+// Builder methods infer output shapes and validate operand shapes.
+class HloModule {
+ public:
+  explicit HloModule(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<HloInstruction>& instructions() const { return instrs_; }
+  const HloInstruction& instr(InstrId id) const { return instrs_[id]; }
+  HloInstruction& mutable_instr(InstrId id) { return instrs_[id]; }
+  int num_parameters() const { return num_parameters_; }
+  const tensor::Tensor& constant_value(InstrId id) const;
+
+  InstrId Parameter(Shape shape, std::string name);
+  InstrId Constant(tensor::Tensor value, std::string name);
+  InstrId Add(InstrId a, InstrId b);
+  InstrId Sub(InstrId a, InstrId b);
+  InstrId Mul(InstrId a, InstrId b);
+  InstrId Relu(InstrId a);
+  InstrId Tanh(InstrId a);
+  InstrId Exp(InstrId a);
+  InstrId Scale(InstrId a, float scale);
+  InstrId Dot(InstrId a, InstrId b);
+  // SAME or VALID padding; strides apply to both spatial dims.
+  InstrId Conv2D(InstrId input, InstrId kernel, tensor::Index stride,
+                 bool same_padding);
+  InstrId ReduceSum(InstrId a, tensor::Index axis);
+  InstrId Softmax(InstrId a);
+  InstrId Reshape(InstrId a, Shape new_shape);
+  InstrId Transpose(InstrId a);
+  InstrId OneHotGather(InstrId onehot, InstrId data);
+  InstrId TopK(InstrId a, tensor::Index k);
+  InstrId BatchMatMul(InstrId a, InstrId b, bool transpose_rhs = false);
+  InstrId SplitHeads(InstrId a, tensor::Index heads);
+  InstrId MergeHeads(InstrId a);
+
+  // Clones instruction `id` of `source` into this module with operands
+  // remapped to `new_operands` (shape and attributes copied verbatim;
+  // constant values are copied too). Used by the rewrite passes to rebuild
+  // modules.
+  InstrId CloneFrom(const HloModule& source, InstrId id,
+                    const std::vector<InstrId>& new_operands);
+
+  // The root is the last instruction added.
+  InstrId root() const {
+    TPU_CHECK(!instrs_.empty());
+    return instrs_.back().id;
+  }
+
+  std::string ToString() const;
+
+ private:
+  InstrId Emit(HloInstruction instr);
+  const HloInstruction& Operand(InstrId id) const {
+    TPU_CHECK_GE(id, 0);
+    TPU_CHECK_LT(id, static_cast<InstrId>(instrs_.size()));
+    return instrs_[id];
+  }
+
+  std::string name_;
+  std::vector<HloInstruction> instrs_;
+  std::vector<tensor::Tensor> constants_;  // parallel sparse: by constant idx
+  std::vector<int> constant_index_;        // instr id -> index or -1
+  int num_parameters_ = 0;
+};
+
+// Reference evaluation: executes the module on dense tensors. `params` must
+// match the module's parameters in declaration order. Returns the value of
+// every instruction (indexed by id).
+std::vector<tensor::Tensor> EvaluateAll(const HloModule& module,
+                                        const std::vector<tensor::Tensor>& params);
+// Convenience: value of the root only.
+tensor::Tensor Evaluate(const HloModule& module,
+                        const std::vector<tensor::Tensor>& params);
+
+}  // namespace tpu::hlo

@@ -1,0 +1,241 @@
+#include "hlo/passes.h"
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tpu::hlo {
+namespace {
+
+bool IsElementwise(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kRelu:
+    case Opcode::kTanh:
+    case Opcode::kExp:
+    case Opcode::kScale:
+    case Opcode::kSoftmax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsTrivial(Opcode opcode) {
+  return opcode == Opcode::kParameter || opcode == Opcode::kConstant ||
+         opcode == Opcode::kReshape;
+}
+
+// Rebuilds `module` keeping instructions where keep[id] is true (parameters
+// are always kept so the calling convention is stable). Returns the new
+// module; old-to-new id map in `remap`.
+HloModule Rebuild(const HloModule& module, const std::vector<bool>& keep,
+                  std::vector<InstrId>* remap) {
+  HloModule rebuilt(module.name());
+  remap->assign(module.instructions().size(), -1);
+  for (const HloInstruction& instr : module.instructions()) {
+    if (!keep[instr.id] && instr.opcode != Opcode::kParameter) continue;
+    std::vector<InstrId> operands;
+    operands.reserve(instr.operands.size());
+    for (InstrId o : instr.operands) {
+      TPU_CHECK_GE((*remap)[o], 0) << "operand dropped before user";
+      operands.push_back((*remap)[o]);
+    }
+    (*remap)[instr.id] = rebuilt.CloneFrom(module, instr.id, operands);
+  }
+  return rebuilt;
+}
+
+}  // namespace
+
+HloModule EliminateDeadCode(const HloModule& module, int* removed) {
+  std::vector<bool> live(module.instructions().size(), false);
+  // Walk backwards from the root marking reachable instructions.
+  std::vector<InstrId> stack{module.root()};
+  while (!stack.empty()) {
+    const InstrId id = stack.back();
+    stack.pop_back();
+    if (live[id]) continue;
+    live[id] = true;
+    for (InstrId o : module.instr(id).operands) stack.push_back(o);
+  }
+  int dropped = 0;
+  for (const HloInstruction& instr : module.instructions()) {
+    if (!live[instr.id] && instr.opcode != Opcode::kParameter) ++dropped;
+  }
+  if (removed != nullptr) *removed = dropped;
+  std::vector<InstrId> remap;
+  return Rebuild(module, live, &remap);
+}
+
+HloModule CommonSubexpressionElimination(const HloModule& module,
+                                         int* merged) {
+  HloModule rebuilt(module.name());
+  std::vector<InstrId> remap(module.instructions().size(), -1);
+  std::unordered_map<std::string, InstrId> seen;
+  int merges = 0;
+  for (const HloInstruction& instr : module.instructions()) {
+    std::vector<InstrId> operands;
+    for (InstrId o : instr.operands) operands.push_back(remap[o]);
+
+    // Structural key over opcode + remapped operands + attributes. Constants
+    // key on their bytes; parameters never merge.
+    std::ostringstream key;
+    if (instr.opcode != Opcode::kParameter) {
+      key << static_cast<int>(instr.opcode);
+      for (InstrId o : operands) key << "," << o;
+      key << "|" << instr.axis << "|" << instr.k << "|" << instr.transpose_rhs
+          << "|" << instr.scale << "|" << instr.conv.stride_h << ","
+          << instr.conv.stride_w << "," << instr.conv.pad_top << ","
+          << instr.conv.pad_bottom << "," << instr.conv.pad_left << ","
+          << instr.conv.pad_right;
+      if (instr.opcode == Opcode::kConstant) {
+        const tensor::Tensor& value = module.constant_value(instr.id);
+        key << "#";
+        for (tensor::Index i = 0; i < value.num_elements(); ++i) {
+          key << value.flat(i) << ";";
+        }
+      }
+      const auto it = seen.find(key.str());
+      if (it != seen.end()) {
+        remap[instr.id] = it->second;
+        ++merges;
+        continue;
+      }
+    }
+    const InstrId clone = rebuilt.CloneFrom(module, instr.id, operands);
+    remap[instr.id] = clone;
+    if (instr.opcode != Opcode::kParameter) seen.emplace(key.str(), clone);
+  }
+  if (merged != nullptr) *merged = merges;
+  return rebuilt;
+}
+
+HloModule MoveScalesToSmallerSide(const HloModule& module, int* rewrites) {
+  HloModule rebuilt(module.name());
+  std::vector<InstrId> remap(module.instructions().size(), -1);
+  int moved = 0;
+  for (const HloInstruction& instr : module.instructions()) {
+    // Pattern 1: Scale(Dot(a, b), s) with the dot output larger than the
+    // smaller operand — fold the scale into that operand instead.
+    if (instr.opcode == Opcode::kScale) {
+      const HloInstruction& producer = module.instr(instr.operands[0]);
+      if (producer.opcode == Opcode::kDot) {
+        const HloInstruction& a = module.instr(producer.operands[0]);
+        const HloInstruction& b = module.instr(producer.operands[1]);
+        const tensor::Index smaller =
+            std::min(NumElements(a.shape), NumElements(b.shape));
+        if (smaller < NumElements(instr.shape)) {
+          const bool scale_lhs = NumElements(a.shape) <= NumElements(b.shape);
+          InstrId lhs = remap[a.id];
+          InstrId rhs = remap[b.id];
+          if (scale_lhs) {
+            lhs = rebuilt.Scale(lhs, instr.scale);
+          } else {
+            rhs = rebuilt.Scale(rhs, instr.scale);
+          }
+          remap[instr.id] = rebuilt.Dot(lhs, rhs);
+          ++moved;
+          continue;
+        }
+      }
+    }
+    // Pattern 2: Dot(Scale(a, s), b) where b is smaller than a.
+    if (instr.opcode == Opcode::kDot) {
+      const HloInstruction& lhs = module.instr(instr.operands[0]);
+      const HloInstruction& rhs = module.instr(instr.operands[1]);
+      if (lhs.opcode == Opcode::kScale) {
+        const HloInstruction& inner = module.instr(lhs.operands[0]);
+        if (NumElements(rhs.shape) < NumElements(inner.shape)) {
+          const InstrId scaled_rhs =
+              rebuilt.Scale(remap[rhs.id], lhs.scale);
+          remap[instr.id] = rebuilt.Dot(remap[inner.id], scaled_rhs);
+          ++moved;
+          continue;
+        }
+      }
+      if (rhs.opcode == Opcode::kScale) {
+        const HloInstruction& inner = module.instr(rhs.operands[0]);
+        if (NumElements(lhs.shape) < NumElements(inner.shape)) {
+          const InstrId scaled_lhs =
+              rebuilt.Scale(remap[lhs.id], rhs.scale);
+          remap[instr.id] = rebuilt.Dot(scaled_lhs, remap[inner.id]);
+          ++moved;
+          continue;
+        }
+      }
+    }
+    std::vector<InstrId> operands;
+    for (InstrId o : instr.operands) operands.push_back(remap[o]);
+    remap[instr.id] = rebuilt.CloneFrom(module, instr.id, operands);
+  }
+  if (rewrites != nullptr) *rewrites = moved;
+  // Moving scales can strand the original producers; clean them up.
+  return EliminateDeadCode(rebuilt);
+}
+
+FusionSummary AnalyzeElementwiseFusion(const HloModule& module) {
+  // Union-find over elementwise instructions connected by producer/consumer
+  // edges: each component is one fused kernel.
+  std::vector<InstrId> parent(module.instructions().size());
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    parent[i] = static_cast<InstrId>(i);
+  }
+  std::function<InstrId(InstrId)> find = [&](InstrId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  FusionSummary summary;
+  for (const HloInstruction& instr : module.instructions()) {
+    if (IsTrivial(instr.opcode)) continue;
+    ++summary.original_kernels;
+    if (!IsElementwise(instr.opcode)) continue;
+    for (InstrId o : instr.operands) {
+      if (IsElementwise(module.instr(o).opcode)) {
+        parent[find(instr.id)] = find(o);
+      }
+    }
+  }
+  // Count kernels: non-elementwise ops individually, elementwise components
+  // once.
+  std::vector<bool> counted(module.instructions().size(), false);
+  for (const HloInstruction& instr : module.instructions()) {
+    if (IsTrivial(instr.opcode)) continue;
+    if (!IsElementwise(instr.opcode)) {
+      ++summary.fused_kernels;
+      continue;
+    }
+    const InstrId root = find(instr.id);
+    if (!counted[root]) {
+      counted[root] = true;
+      ++summary.fused_kernels;
+    }
+  }
+  return summary;
+}
+
+SimTime FusedModuleSeconds(const HloModule& module, const TpuCoreModel& core) {
+  TpuCoreModel no_overhead = core;
+  no_overhead.op_overhead = 0;
+  SimTime seconds = 0;
+  for (const HloInstruction& instr : module.instructions()) {
+    if (instr.opcode == Opcode::kParameter ||
+        instr.opcode == Opcode::kConstant) {
+      continue;
+    }
+    seconds += no_overhead.SecondsFor(CostOf(module, instr));
+  }
+  return seconds + core.op_overhead * AnalyzeElementwiseFusion(module).fused_kernels;
+}
+
+}  // namespace tpu::hlo

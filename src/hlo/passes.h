@@ -1,0 +1,55 @@
+// Compiler passes over the mini-HLO IR — the XLA-side optimizations the
+// paper leans on (Section 4.1):
+//   * MoveScalesToSmallerSide: "we move the scalar multiplications and
+//     divisions to the smaller side of matrix multiplication by leveraging
+//     the commutativity of scalar multiplication and matrix multiplication"
+//     — relieves the vector units of full-activation-sized multiplies;
+//   * elementwise fusion analysis: "we combine small variables ... into one
+//     large tensor [to] reduce register spilling" — modeled as fusing
+//     maximal elementwise chains into single kernels, so the per-op issue
+//     overhead (the register/dispatch tax) is paid once per chain;
+//   * classic cleanups every compiler needs: dead-code elimination and
+//     common-subexpression elimination.
+// All rewrites are semantics-preserving; tests check random-input
+// equivalence and that the cost model agrees the rewrite helped.
+#pragma once
+
+#include "hlo/cost_model.h"
+#include "hlo/hlo.h"
+
+namespace tpu::hlo {
+
+// Rebuilds the module keeping only instructions reachable from the root.
+// `removed` (optional) reports how many instructions were dropped.
+HloModule EliminateDeadCode(const HloModule& module, int* removed = nullptr);
+
+// Rebuilds the module merging structurally identical instructions (same
+// opcode, operands and attributes). Constants merge only when their values
+// are bitwise equal. `merged` reports the number of instructions eliminated.
+HloModule CommonSubexpressionElimination(const HloModule& module,
+                                         int* merged = nullptr);
+
+// Rewrites Scale/Dot patterns so the scalar multiply lands on the dot
+// operand with the fewest elements:
+//   Scale(Dot(a, b), s)   -> Dot(Scale(a, s), b) or Dot(a, Scale(b, s))
+//   Dot(Scale(a, s), b)   -> Dot(a, Scale(b, s))   (when b is smaller)
+// `rewrites` reports how many scales moved. The returned module computes
+// the same function (scalar multiplication commutes with matmul).
+HloModule MoveScalesToSmallerSide(const HloModule& module,
+                                  int* rewrites = nullptr);
+
+// Fusion analysis: partitions the module's non-trivial instructions into
+// kernels, where maximal chains of elementwise ops (add/sub/mul/relu/tanh/
+// exp/scale/softmax) fuse into their consumer chain.
+struct FusionSummary {
+  int original_kernels = 0;  // one kernel per instruction, unfused
+  int fused_kernels = 0;     // kernels after elementwise-chain fusion
+};
+FusionSummary AnalyzeElementwiseFusion(const HloModule& module);
+
+// Module execution seconds with fusion applied: compute/memory costs are
+// unchanged, but the per-op issue overhead is charged per fused kernel
+// instead of per instruction.
+SimTime FusedModuleSeconds(const HloModule& module, const TpuCoreModel& core);
+
+}  // namespace tpu::hlo

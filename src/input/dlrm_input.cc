@@ -1,0 +1,35 @@
+#include "input/dlrm_input.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace tpu::input {
+
+SimTime DlrmParseSeconds(const DlrmInputConfig& config,
+                         bool batch_granularity) {
+  TPU_CHECK_GT(config.parse_threads, 0);
+  // Per-sample parsing pays the call overhead once per example; batch
+  // granularity pays it once per batch. The payload cost is identical.
+  const std::int64_t calls = batch_granularity ? 1 : config.per_host_batch;
+  const SimTime overhead = config.per_call_overhead * calls;
+  const SimTime payload = config.per_example_payload * config.per_host_batch *
+                          config.num_features;
+  return (overhead + payload) / config.parse_threads;
+}
+
+SimTime DlrmPcieSeconds(const DlrmInputConfig& config, bool stacked) {
+  const Bytes total = config.per_host_batch * config.num_features *
+                      config.bytes_per_feature_per_example;
+  const int transfers = stacked ? 1 : config.num_features;
+  return config.per_transfer_overhead * transfers +
+         static_cast<double>(total) / config.pcie_bandwidth;
+}
+
+SimTime DlrmEvalSeconds(std::int64_t total_steps, int steps_per_round_trip,
+                        SimTime device_step, SimTime host_round_trip) {
+  TPU_CHECK_GT(steps_per_round_trip, 0);
+  const std::int64_t round_trips = CeilDiv(total_steps, steps_per_round_trip);
+  return total_steps * device_step + round_trips * host_round_trip;
+}
+
+}  // namespace tpu::input

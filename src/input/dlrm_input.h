@@ -1,0 +1,48 @@
+// DLRM input-pipeline optimizations (Sections 3.5, 4.6).
+//
+// DLRM runs a huge per-core batch at a tiny step latency, so the host side
+// is the bottleneck. Three optimizations are modeled, each against its
+// naive baseline:
+//   1. batch-granularity parsing: parse one record of `batch` examples
+//      instead of `batch` records (amortizes per-call overhead);
+//   2. PCIe feature stacking: send the ~40 input features as one stacked
+//      transfer instead of 40 separate DMAs;
+//   3. on-device multi-step eval: run E inference steps per host round-trip
+//      instead of one.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace tpu::input {
+
+struct DlrmInputConfig {
+  std::int64_t per_host_batch = 65536 / 64;  // examples per host per step
+  int num_features = 40;
+  Bytes bytes_per_feature_per_example = 4;
+  int parse_threads = 16;
+
+  // Parsing costs.
+  SimTime per_call_overhead = Micros(15);   // function/proto dispatch
+  SimTime per_example_payload = Nanos(120); // unavoidable byte handling
+
+  // PCIe.
+  Bandwidth pcie_bandwidth = GBps(12.0);
+  SimTime per_transfer_overhead = Micros(20);
+};
+
+// Host-side parse time for one step's batch.
+SimTime DlrmParseSeconds(const DlrmInputConfig& config,
+                         bool batch_granularity);
+
+// Host->device PCIe time for one step's features.
+SimTime DlrmPcieSeconds(const DlrmInputConfig& config, bool stacked);
+
+// Wall time to evaluate `total_steps` inference steps when the device runs
+// `steps_per_round_trip` steps per host interaction (Section 4.6's
+// "evaluate multiple steps without host communication").
+SimTime DlrmEvalSeconds(std::int64_t total_steps, int steps_per_round_trip,
+                        SimTime device_step, SimTime host_round_trip);
+
+}  // namespace tpu::input

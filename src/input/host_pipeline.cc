@@ -1,0 +1,97 @@
+#include "input/host_pipeline.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tpu::input {
+
+HostPipelineStats SimulateHostPipeline(const HostPipelineConfig& config,
+                                       std::uint64_t seed) {
+  TPU_CHECK_GT(config.num_hosts, 0);
+  TPU_CHECK_GT(config.threads_per_host, 0);
+  TPU_CHECK_GT(config.steps, 0);
+  TPU_CHECK_GT(config.prefetch_capacity, 0);
+  Rng rng(seed);
+
+  // Persistent per-host slowness from shard composition.
+  std::vector<double> host_multiplier(config.num_hosts, 1.0);
+  if (!config.uncompressed_cache) {
+    for (double& m : host_multiplier) {
+      m = 1.0 + config.host_skew_coef *
+                    (rng.NextPareto(1.0, config.host_skew_alpha) - 1.0);
+    }
+  }
+
+  // Per-host production schedule. A host's workers produce batch b starting
+  // when the previous batch finished, but no earlier than allowed by the
+  // prefetch buffer (the device must have consumed batch b - capacity).
+  // available[h][b] = when host h's batch b is in the prefetch buffer.
+  const int total_batches = config.steps;
+  std::vector<std::vector<SimTime>> available(
+      config.num_hosts, std::vector<SimTime>(total_batches));
+  std::vector<SimTime> produce_free(config.num_hosts, 0.0);
+  HostPipelineStats stats;
+
+  // Batch production time: per-image cost divided over the worker threads.
+  // The prefetch queue decouples production latency from consumption, so a
+  // host is throughput-bound (total work / threads), not bound by its
+  // slowest single image; the slowest image is tracked for reporting.
+  auto batch_cost = [&](Rng& r, double multiplier) {
+    SimTime total = 0;
+    for (int i = 0; i < config.per_host_batch; ++i) {
+      SimTime cost = config.light_prep;
+      if (!config.uncompressed_cache) {
+        cost += multiplier *
+                r.NextPareto(config.decode_scale, config.decode_alpha);
+      }
+      total += cost;
+    }
+    return total / config.threads_per_host;
+  };
+
+  // Pass 1: unconstrained production times (buffer constraint applied in the
+  // device loop below, interleaved, because consumption times feed back).
+  std::vector<std::vector<SimTime>> cost(config.num_hosts,
+                                         std::vector<SimTime>(total_batches));
+  for (int h = 0; h < config.num_hosts; ++h) {
+    for (int b = 0; b < total_batches; ++b) {
+      cost[h][b] = batch_cost(rng, host_multiplier[h]);
+      stats.worst_batch_seconds = std::max(stats.worst_batch_seconds,
+                                           cost[h][b]);
+    }
+  }
+
+  // Device loop: step s consumes batch s from every host simultaneously
+  // (synchronous training). consumed[b] = time batch b was consumed.
+  std::vector<SimTime> consumed(total_batches, 0.0);
+  SimTime device_time = 0;
+  for (int s = 0; s < total_batches; ++s) {
+    SimTime ready = 0;
+    for (int h = 0; h < config.num_hosts; ++h) {
+      // Host h produces batch s as soon as its pipeline and the prefetch
+      // buffer allow.
+      SimTime start = produce_free[h];
+      if (s >= config.prefetch_capacity) {
+        start = std::max(start, consumed[s - config.prefetch_capacity]);
+      }
+      const SimTime done = start + cost[h][s];
+      produce_free[h] = done;
+      available[h][s] = done;
+      ready = std::max(ready, done);
+    }
+    const SimTime step_start = std::max(device_time, ready);
+    stats.total_stall += step_start - device_time;
+    device_time = step_start + config.device_step;
+    consumed[s] = device_time;
+  }
+  stats.total_train_time = device_time;
+  stats.stall_fraction =
+      stats.total_train_time > 0 ? stats.total_stall / stats.total_train_time
+                                 : 0.0;
+  return stats;
+}
+
+}  // namespace tpu::input

@@ -1,0 +1,53 @@
+// Host input-pipeline simulation for ResNet-50 at multipod scale
+// (Section 3.5).
+//
+// Synchronous data parallelism makes every training step wait for the
+// *slowest* of the ~1024 host pipelines. JPEG decode times are heavy-tailed
+// (large images decompress slowly), so at multipod scale some host hits a
+// tail image nearly every step — the load imbalance the paper describes.
+// The fix it describes is also modeled: store uncompressed images in host
+// memory so the pipeline only does crop/flip/normalize, raising throughput
+// enough for the prefetch buffer to absorb the remaining variance.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace tpu::input {
+
+struct HostPipelineConfig {
+  int num_hosts = 1024;
+  int threads_per_host = 16;
+  int per_host_batch = 16;  // images each host must deliver per step
+
+  // Heavy-tailed JPEG decode: Pareto(scale, alpha) per image.
+  SimTime decode_scale = Millis(0.85);
+  double decode_alpha = 2.5;
+  // Host-level heterogeneity: dataset shards differ in average image size,
+  // so some hosts are *persistently* slower. Per-host decode multiplier is
+  // 1 + skew_coef * (Pareto(1, skew_alpha) - 1); synchronous training runs
+  // at the slowest host's rate, which is what makes scale hurt.
+  double host_skew_alpha = 2.5;
+  double host_skew_coef = 0.04;
+  // Light preprocessing (random crop, flip, normalize) per image.
+  SimTime light_prep = Micros(300);
+  // Uncompressed-cache mode: decode is skipped entirely.
+  bool uncompressed_cache = false;
+
+  int prefetch_capacity = 32;  // batches a host may run ahead
+  SimTime device_step = Millis(2.0);
+  int steps = 200;
+};
+
+struct HostPipelineStats {
+  SimTime total_train_time = 0;   // steps * device_step + stalls
+  SimTime total_stall = 0;        // device idle waiting for input
+  double stall_fraction = 0;      // total_stall / total_train_time
+  SimTime worst_batch_seconds = 0;  // slowest single host-batch production
+};
+
+HostPipelineStats SimulateHostPipeline(const HostPipelineConfig& config,
+                                       std::uint64_t seed);
+
+}  // namespace tpu::input

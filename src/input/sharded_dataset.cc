@@ -1,0 +1,125 @@
+#include "input/sharded_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "input/shuffle_buffer.h"
+
+namespace tpu::input {
+namespace {
+
+// The per-host tf.data stream: file stage (order-dependent) feeding the
+// sequence-level shuffle buffer. Returns the first `draws` sequence ids the
+// host would feed its TPUs.
+std::vector<std::int64_t> HostDraws(const BertShuffleConfig& config, int host,
+                                    std::int64_t draws, Rng& rng) {
+  std::vector<int> files;
+  for (int f = host; f < config.num_files; f += config.num_hosts) {
+    files.push_back(f);
+  }
+  TPU_CHECK(!files.empty()) << "more hosts than files";
+
+  // Enough file passes to satisfy `draws` plus the buffer fill.
+  const std::int64_t per_pass =
+      static_cast<std::int64_t>(files.size()) * config.sequences_per_file;
+  const int passes =
+      static_cast<int>((draws + config.shuffle_buffer_size) / per_pass + 2);
+
+  std::vector<std::int64_t> stream;
+  stream.reserve(passes * per_pass);
+  std::vector<int> order = files;
+  for (int pass = 0; pass < passes; ++pass) {
+    if (config.order == StageOrder::kShuffleThenRepeat) {
+      // shuffle-before-repeat: a fresh file permutation every pass, so each
+      // pass covers every assigned file exactly once.
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.NextBounded(i)]);
+      }
+    }
+    // repeat-before-shuffle: fixed file order each pass; only the (small)
+    // sequence buffer below provides any mixing.
+    for (int file : order) {
+      for (int s = 0; s < config.sequences_per_file; ++s) {
+        stream.push_back(static_cast<std::int64_t>(file) *
+                             config.sequences_per_file +
+                         s);
+      }
+    }
+  }
+
+  const std::vector<std::int64_t> shuffled =
+      ShuffleBuffer<std::int64_t>::ShuffleStream(
+          stream, config.shuffle_buffer_size, rng.NextU64());
+  return std::vector<std::int64_t>(shuffled.begin(), shuffled.begin() + draws);
+}
+
+}  // namespace
+
+BertShuffleStats MeasureBertShuffle(const BertShuffleConfig& config,
+                                    int num_runs, std::uint64_t seed) {
+  TPU_CHECK_GT(num_runs, 0);
+  const std::int64_t total =
+      static_cast<std::int64_t>(config.num_files) * config.sequences_per_file;
+  const std::int64_t draws_per_host =
+      total * config.epochs_to_draw / config.num_hosts;
+  const std::int64_t batch_size = 4096;
+
+  double coverage_sum = 0;
+  double bias_ratio_sum = 0;
+  for (int run = 0; run < num_runs; ++run) {
+    Rng rng(seed + run * 7919);
+    std::vector<std::vector<std::int64_t>> per_host(config.num_hosts);
+    for (int host = 0; host < config.num_hosts; ++host) {
+      per_host[host] = HostDraws(config, host, draws_per_host, rng);
+    }
+
+    // Coverage within the first epoch-equivalent of draws.
+    std::unordered_set<std::int64_t> seen;
+    for (const auto& draws : per_host) {
+      seen.insert(draws.begin(), draws.end());
+    }
+    coverage_sum += static_cast<double>(seen.size()) /
+                    static_cast<double>(total);
+
+    // Global batches: round-robin across hosts (how synchronous data
+    // parallelism actually composes them). Per-batch mean id vs. the uniform
+    // sampling expectation.
+    std::vector<double> batch_means;
+    std::int64_t index = 0;
+    double acc = 0;
+    std::int64_t in_batch = 0;
+    for (std::int64_t d = 0; d < draws_per_host; ++d) {
+      for (int host = 0; host < config.num_hosts; ++host) {
+        acc += static_cast<double>(per_host[host][d]);
+        if (++in_batch == batch_size) {
+          batch_means.push_back(acc / batch_size);
+          acc = 0;
+          in_batch = 0;
+        }
+        ++index;
+      }
+    }
+    TPU_CHECK_GT(batch_means.size(), 1u);
+    const double grand_mean =
+        std::accumulate(batch_means.begin(), batch_means.end(), 0.0) /
+        batch_means.size();
+    double var = 0;
+    for (double m : batch_means) var += (m - grand_mean) * (m - grand_mean);
+    var /= batch_means.size();
+    // Uniform sampling of ids in [0, total): var(mean of B) = total^2/12/B.
+    const double expected_var =
+        static_cast<double>(total) * total / 12.0 / batch_size;
+    bias_ratio_sum += std::sqrt(var / expected_var);
+  }
+
+  BertShuffleStats stats;
+  stats.sequence_coverage = coverage_sum / num_runs;
+  stats.batch_bias_ratio = bias_ratio_sum / num_runs;
+  return stats;
+}
+
+}  // namespace tpu::input

@@ -1,0 +1,49 @@
+// File-sharded dataset shuffling for BERT at scale (Section 3.5).
+//
+// The BERT corpus ships as 500 files; at 128+ hosts each host sees only a
+// handful of files, so the *order of the shuffle and repeat stages* and the
+// sequence-level shuffle-buffer size decide (a) whether a run covers the
+// whole dataset and (b) how much run-to-run variance the sampled batches
+// carry. This module simulates the per-host tf.data stage orders and
+// measures both quantities, reproducing the paper's recommendations:
+// shuffle *before* repeat at file level, and use a large sequence buffer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace tpu::input {
+
+enum class StageOrder {
+  kShuffleThenRepeat,  // recommended: files reshuffled, all covered per epoch
+  kRepeatThenShuffle,  // a small shuffle window over an already-repeated
+                       // stream: poor coverage, biased batches
+};
+
+struct BertShuffleConfig {
+  int num_files = 500;
+  int sequences_per_file = 1000;
+  int num_hosts = 128;
+  std::size_t shuffle_buffer_size = 1000;  // sequence-level buffer
+  StageOrder order = StageOrder::kShuffleThenRepeat;
+  int epochs_to_draw = 1;  // how much data each measurement consumes
+};
+
+struct BertShuffleStats {
+  // Fraction of all sequences drawn at least once within the first
+  // epoch-equivalent of draws (coverage).
+  double sequence_coverage = 0;
+  // Across independently seeded runs: standard deviation of the per-batch
+  // mean sequence id, normalized by the uniform-sampling expectation. ~1.0
+  // means batches are as unbiased as true uniform sampling; >> 1 means
+  // batches are biased toward file neighborhoods (the run-to-run convergence
+  // spread the paper observed with small buffers).
+  double batch_bias_ratio = 0;
+};
+
+BertShuffleStats MeasureBertShuffle(const BertShuffleConfig& config,
+                                    int num_runs, std::uint64_t seed);
+
+}  // namespace tpu::input

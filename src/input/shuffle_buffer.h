@@ -1,0 +1,67 @@
+// tf.data-style shuffle buffer: a fixed-capacity reservoir that emits a
+// uniformly random resident element as each new element streams through.
+// This is the exact mechanism whose buffer size drives BERT's run-to-run
+// convergence variance (Section 3.5).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tpu::input {
+
+template <typename T>
+class ShuffleBuffer {
+ public:
+  ShuffleBuffer(std::size_t capacity, std::uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    TPU_CHECK_GT(capacity, 0u);
+    buffer_.reserve(capacity);
+  }
+
+  bool full() const { return buffer_.size() >= capacity_; }
+  bool empty() const { return buffer_.empty(); }
+  std::size_t size() const { return buffer_.size(); }
+
+  // Inserts an element; the buffer must not be full.
+  void Push(T value) {
+    TPU_CHECK(!full());
+    buffer_.push_back(std::move(value));
+  }
+
+  // Removes and returns a uniformly random resident element.
+  T Pop() {
+    TPU_CHECK(!empty());
+    const std::size_t i = rng_.NextBounded(buffer_.size());
+    std::swap(buffer_[i], buffer_.back());
+    T out = std::move(buffer_.back());
+    buffer_.pop_back();
+    return out;
+  }
+
+  // Streams `input` through the buffer (fill, then pop-push, then drain),
+  // producing the shuffled order tf.data would emit.
+  static std::vector<T> ShuffleStream(const std::vector<T>& input,
+                                      std::size_t capacity,
+                                      std::uint64_t seed) {
+    ShuffleBuffer<T> buffer(capacity, seed);
+    std::vector<T> out;
+    out.reserve(input.size());
+    for (const T& value : input) {
+      if (buffer.full()) out.push_back(buffer.Pop());
+      buffer.Push(value);
+    }
+    while (!buffer.empty()) out.push_back(buffer.Pop());
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::vector<T> buffer_;
+};
+
+}  // namespace tpu::input

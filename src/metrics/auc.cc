@@ -1,0 +1,200 @@
+#include "metrics/auc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tpu::metrics {
+namespace {
+
+// Packs (score, label) so sorting moves labels along with scores.
+struct Sample {
+  float score;
+  std::uint8_t label;
+  bool operator<(const Sample& other) const { return score < other.score; }
+};
+
+// Tie-corrected Mann-Whitney AUC from samples sorted ascending by score:
+// AUC = (sum of average ranks of positives - P(P+1)/2) / (P * N).
+double AucFromSorted(const std::vector<Sample>& sorted) {
+  const std::size_t n = sorted.size();
+  double positive_rank_sum = 0;
+  std::int64_t positives = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    std::int64_t tied_positives = 0;
+    while (j < n && sorted[j].score == sorted[i].score) {
+      tied_positives += sorted[j].label;
+      ++j;
+    }
+    // Ranks are 1-based; tied group [i, j) shares the average rank.
+    const double avg_rank = (static_cast<double>(i) + 1 + j) / 2.0;
+    positive_rank_sum += avg_rank * tied_positives;
+    positives += tied_positives;
+    i = j;
+  }
+  const std::int64_t negatives = static_cast<std::int64_t>(n) - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) * (positives + 1) / 2.0;
+  return u / (static_cast<double>(positives) * negatives);
+}
+
+std::vector<Sample> PackSamples(std::span<const float> scores,
+                                std::span<const std::uint8_t> labels) {
+  TPU_CHECK_EQ(scores.size(), labels.size());
+  std::vector<Sample> samples(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    samples[i] = {scores[i], labels[i]};
+  }
+  return samples;
+}
+
+// Merge-path split: the (a, b) with a + b = k such that merging A[..a) and
+// B[..b) yields the first k elements of merge(A, B). Binary search on a.
+std::pair<std::size_t, std::size_t> MergePathSplit(const Sample* a,
+                                                   std::size_t len_a,
+                                                   const Sample* b,
+                                                   std::size_t len_b,
+                                                   std::size_t k) {
+  std::size_t lo = k > len_b ? k - len_b : 0;
+  std::size_t hi = std::min(k, len_a);
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    // Take a[mid] next iff a[mid] < b[k - mid - 1]... use the standard
+    // stable-merge condition: advance `a` while a[mid] <= b[k-mid-1].
+    if (b[k - mid - 1] < a[mid]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return {lo, k - lo};
+}
+
+// Merges sorted runs [begin, mid) and [mid, end) of `src` into the same
+// positions of `dst`, parallelized over `pool` via merge-path splits.
+void ParallelMerge(const std::vector<Sample>& src, std::vector<Sample>& dst,
+                   std::size_t begin, std::size_t mid, std::size_t end,
+                   ThreadPool& pool) {
+  const Sample* a = src.data() + begin;
+  const std::size_t len_a = mid - begin;
+  const Sample* b = src.data() + mid;
+  const std::size_t len_b = end - mid;
+  const std::size_t total = len_a + len_b;
+  const std::size_t pieces =
+      std::max<std::size_t>(1, std::min<std::size_t>(pool.num_threads(),
+                                                     total / 4096));
+  std::size_t prev_a = 0, prev_b = 0, prev_k = 0;
+  for (std::size_t p = 1; p <= pieces; ++p) {
+    const std::size_t k = total * p / pieces;
+    const auto [ka, kb] =
+        p == pieces ? std::make_pair(len_a, len_b)
+                    : MergePathSplit(a, len_a, b, len_b, k);
+    Sample* out = dst.data() + begin + prev_k;
+    const Sample* a_lo = a + prev_a;
+    const Sample* a_hi = a + ka;
+    const Sample* b_lo = b + prev_b;
+    const Sample* b_hi = b + kb;
+    pool.Schedule([a_lo, a_hi, b_lo, b_hi, out] {
+      std::merge(a_lo, a_hi, b_lo, b_hi, out);
+    });
+    prev_a = ka;
+    prev_b = kb;
+    prev_k = k;
+  }
+  pool.Wait();
+}
+
+}  // namespace
+
+double AucNaive(std::span<const float> scores,
+                std::span<const std::uint8_t> labels) {
+  std::vector<Sample> samples = PackSamples(scores, labels);
+  if (samples.empty()) return 0.5;
+  // Library-shaped implementation: sort descending, then materialize the
+  // full cumulative TP/FP curves in separate passes (extra allocations and
+  // memory traffic — the slowness the custom implementation removed), then
+  // trapezoid-integrate.
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const Sample& a, const Sample& b) {
+                     return a.score > b.score;
+                   });
+  const std::size_t n = samples.size();
+  std::vector<double> tps(n), fps(n);
+  double tp = 0, fp = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tp += samples[i].label;
+    fp += 1.0 - samples[i].label;
+    tps[i] = tp;
+    fps[i] = fp;
+  }
+  if (tp == 0 || fp == 0) return 0.5;
+  // Keep only threshold boundaries (distinct scores), like sklearn's
+  // roc_curve, then integrate.
+  std::vector<double> tpr{0.0}, fpr{0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 == n || samples[i + 1].score != samples[i].score) {
+      tpr.push_back(tps[i] / tp);
+      fpr.push_back(fps[i] / fp);
+    }
+  }
+  double auc = 0;
+  for (std::size_t i = 1; i < tpr.size(); ++i) {
+    auc += (fpr[i] - fpr[i - 1]) * (tpr[i] + tpr[i - 1]) / 2.0;
+  }
+  return auc;
+}
+
+double AucFast(std::span<const float> scores,
+               std::span<const std::uint8_t> labels, ThreadPool& pool) {
+  std::vector<Sample> samples = PackSamples(scores, labels);
+  if (samples.empty()) return 0.5;
+
+  // Parallel merge sort: sort contiguous chunks on the pool, then merge
+  // pairs of runs per round — each pair merge itself parallelized with
+  // merge-path splits — ping-ponging between two buffers.
+  const std::size_t num_chunks = std::max<std::size_t>(
+      1, std::min<std::size_t>(pool.num_threads(), samples.size() / 1024));
+  std::vector<std::size_t> bounds;
+  const std::size_t chunk = (samples.size() + num_chunks - 1) / num_chunks;
+  for (std::size_t b = 0; b < samples.size(); b += chunk) bounds.push_back(b);
+  bounds.push_back(samples.size());
+
+  for (std::size_t r = 0; r + 1 < bounds.size(); ++r) {
+    const std::size_t begin = bounds[r], end = bounds[r + 1];
+    pool.Schedule([&samples, begin, end] {
+      std::sort(samples.begin() + begin, samples.begin() + end);
+    });
+  }
+  pool.Wait();
+
+  std::vector<Sample> scratch(samples.size());
+  std::vector<Sample>* src = &samples;
+  std::vector<Sample>* dst = &scratch;
+  while (bounds.size() > 2) {
+    std::vector<std::size_t> next;
+    for (std::size_t r = 0; r + 2 < bounds.size(); r += 2) {
+      ParallelMerge(*src, *dst, bounds[r], bounds[r + 1], bounds[r + 2],
+                    pool);
+      next.push_back(bounds[r]);
+    }
+    if (bounds.size() % 2 == 0) {
+      // Odd run out: copy it through so dst holds the full array.
+      const std::size_t begin = bounds[bounds.size() - 2];
+      std::copy(src->begin() + begin, src->end(), dst->begin() + begin);
+      next.push_back(begin);
+    }
+    next.push_back(samples.size());
+    bounds = std::move(next);
+    std::swap(src, dst);
+  }
+
+  // Fused single pass: ranks, tie groups and the U statistic together.
+  return AucFromSorted(*src);
+}
+
+}  // namespace tpu::metrics

@@ -1,0 +1,30 @@
+// ROC-AUC over pCTR predictions (Section 4.6).
+//
+// The paper's DLRM evaluation computes AUC over 90M samples; popular Python
+// libraries took ~60 s per call, so they wrote a custom C++ implementation
+// using multithreaded sorting and loop fusion that runs in ~2 s. Both
+// implementations live here:
+//  * AucNaive: single-threaded, sklearn-shaped — full sort, then separate
+//    passes materializing cumulative TP/FP curves before integrating;
+//  * AucFast: parallel merge sort on a thread pool plus one fused pass that
+//    computes the tie-corrected Mann-Whitney statistic in place.
+// Both handle tied scores exactly (average ranks), so they agree to double
+// precision.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/thread_pool.h"
+
+namespace tpu::metrics {
+
+// labels are 0/1. Returns AUC in [0, 1]; 0.5 for degenerate inputs (all one
+// class).
+double AucNaive(std::span<const float> scores,
+                std::span<const std::uint8_t> labels);
+
+double AucFast(std::span<const float> scores,
+               std::span<const std::uint8_t> labels, ThreadPool& pool);
+
+}  // namespace tpu::metrics

@@ -1,0 +1,56 @@
+#include "metrics/distributed_eval.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tpu::metrics {
+
+AccuracyParts LocalAccuracy(const EvalShard& shard) {
+  TPU_CHECK_EQ(shard.correct.size(), shard.is_real.size());
+  AccuracyParts parts;
+  for (std::size_t i = 0; i < shard.correct.size(); ++i) {
+    if (!shard.is_real[i]) continue;
+    parts.correct += shard.correct[i];
+    ++parts.total;
+  }
+  return parts;
+}
+
+AccuracyParts CombineAccuracy(std::span<const AccuracyParts> parts) {
+  AccuracyParts combined;
+  for (const AccuracyParts& p : parts) {
+    combined.correct += p.correct;
+    combined.total += p.total;
+  }
+  return combined;
+}
+
+EvalShard PadShard(EvalShard shard, std::size_t target_size) {
+  TPU_CHECK_GE(target_size, shard.correct.size());
+  // Dummy examples report "correct" (the worst case for a naive
+  // implementation that forgets to mask them) but are flagged not-real.
+  shard.correct.resize(target_size, 1);
+  shard.is_real.resize(target_size, 0);
+  return shard;
+}
+
+SimTime EvalScheduleSpan(int num_evals, SimTime interval, SimTime eval_cost,
+                         int workers) {
+  TPU_CHECK_GT(num_evals, 0);
+  TPU_CHECK_GT(workers, 0);
+  // Eval e is dispatched at e * interval to worker e % workers; each worker
+  // processes its queue serially.
+  std::vector<SimTime> worker_free(workers, 0.0);
+  SimTime last_completion = 0;
+  for (int e = 0; e < num_evals; ++e) {
+    const SimTime dispatch = e * interval;
+    const int w = e % workers;
+    const SimTime start = std::max(dispatch, worker_free[w]);
+    worker_free[w] = start + eval_cost;
+    last_completion = std::max(last_completion, worker_free[w]);
+  }
+  return last_completion;
+}
+
+}  // namespace tpu::metrics

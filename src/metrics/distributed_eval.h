@@ -1,0 +1,51 @@
+// Distributed computation of evaluation metrics (Sections 3.4, 4.4).
+//
+// MLPerf evaluation datasets are padded with dummy examples when the eval
+// batch exceeds the dataset; per-worker partial metrics must exclude the
+// padding and then be combined — on-device via all-reduce (JAX) or on the
+// coordinator after an RPC gather (TF). Both composition orders must give
+// the same metric; the helpers here compute the partials and the schedule
+// costs, including the round-robin COCO-eval placement JAX uses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+
+namespace tpu::metrics {
+
+struct EvalShard {
+  std::vector<std::uint8_t> correct;  // per example: prediction correct?
+  std::vector<std::uint8_t> is_real;  // 0 for padding examples
+};
+
+struct AccuracyParts {
+  std::int64_t correct = 0;
+  std::int64_t total = 0;
+  double accuracy() const {
+    return total > 0 ? static_cast<double>(correct) / total : 0.0;
+  }
+};
+
+// Per-worker partial counts; padding examples are excluded entirely.
+AccuracyParts LocalAccuracy(const EvalShard& shard);
+
+// Cross-worker combination (what the all-reduce or the coordinator gather
+// computes).
+AccuracyParts CombineAccuracy(std::span<const AccuracyParts> parts);
+
+// Pads a shard to `target_size` with dummy examples (marked not-real, so
+// they cannot change the metric).
+EvalShard PadShard(EvalShard shard, std::size_t target_size);
+
+// Wall-clock of `num_evals` expensive CPU-side evals (e.g. COCO eval)
+// dispatched every `interval`, processed serially by each of `workers`
+// consumers in round-robin (Section 4.4: worker e runs eval e). workers = 1
+// models the TF coordinator. Returns the time from the first dispatch until
+// the last eval completes.
+SimTime EvalScheduleSpan(int num_evals, SimTime interval, SimTime eval_cost,
+                         int workers);
+
+}  // namespace tpu::metrics

@@ -1,0 +1,73 @@
+#include "models/batch_norm.h"
+
+#include "common/check.h"
+
+namespace tpu::models {
+
+BatchNormPartial LocalBatchNormPartial(std::span<const float> activations,
+                                       std::int64_t batch,
+                                       std::int64_t channels) {
+  TPU_CHECK_EQ(static_cast<std::int64_t>(activations.size()),
+               batch * channels);
+  BatchNormPartial partial;
+  partial.sum.assign(channels, 0.0);
+  partial.sum_sq.assign(channels, 0.0);
+  partial.count = batch;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      const double v = activations[b * channels + c];
+      partial.sum[c] += v;
+      partial.sum_sq[c] += v * v;
+    }
+  }
+  return partial;
+}
+
+BatchNormPartial CombinePartials(std::span<const BatchNormPartial> partials) {
+  TPU_CHECK(!partials.empty());
+  BatchNormPartial combined;
+  combined.sum.assign(partials[0].sum.size(), 0.0);
+  combined.sum_sq.assign(partials[0].sum_sq.size(), 0.0);
+  for (const BatchNormPartial& partial : partials) {
+    TPU_CHECK_EQ(partial.sum.size(), combined.sum.size());
+    combined.count += partial.count;
+    for (std::size_t c = 0; c < combined.sum.size(); ++c) {
+      combined.sum[c] += partial.sum[c];
+      combined.sum_sq[c] += partial.sum_sq[c];
+    }
+  }
+  return combined;
+}
+
+BatchNormStats FinalizeStats(const BatchNormPartial& partial) {
+  TPU_CHECK_GT(partial.count, 0);
+  BatchNormStats stats;
+  stats.count = partial.count;
+  const double n = static_cast<double>(partial.count);
+  stats.mean.resize(partial.sum.size());
+  stats.variance.resize(partial.sum.size());
+  for (std::size_t c = 0; c < partial.sum.size(); ++c) {
+    stats.mean[c] = partial.sum[c] / n;
+    stats.variance[c] =
+        partial.sum_sq[c] / n - stats.mean[c] * stats.mean[c];
+  }
+  return stats;
+}
+
+BatchNormStats PooledStats(std::span<const float> activations,
+                           std::int64_t batch, std::int64_t channels) {
+  return FinalizeStats(LocalBatchNormPartial(activations, batch, channels));
+}
+
+SimTime BatchNormAllReduceSeconds(int subgroup, std::int64_t channels,
+                                  Bandwidth link_bandwidth,
+                                  SimTime per_step_overhead) {
+  TPU_CHECK_GT(subgroup, 0);
+  if (subgroup == 1) return 0.0;
+  // Ring all-reduce of (2*channels + 1) float32 values.
+  const double bytes = (2.0 * channels + 1) * 4;
+  return 2.0 * bytes * (subgroup - 1) / subgroup / link_bandwidth +
+         2.0 * (subgroup - 1) * per_step_overhead;
+}
+
+}  // namespace tpu::models

@@ -1,0 +1,56 @@
+// Distributed batch normalization (Section 4.2).
+//
+// At per-core batches of 8-16, per-core BN statistics are too noisy to hit
+// the MLPerf quality target; the paper computes BN statistics across small
+// *subgroups* of replicas with an auxiliary all-reduce. This module
+// implements the statistics math functionally: the distributed computation
+// (per-replica partial sums combined across a subgroup) must equal the
+// pooled computation over the subgroup's combined batch, which the tests
+// assert exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+
+namespace tpu::models {
+
+struct BatchNormStats {
+  std::vector<double> mean;      // per channel
+  std::vector<double> variance;  // per channel (biased, as in training BN)
+  std::int64_t count = 0;        // examples contributing
+};
+
+// Per-replica partial sums: (sum, sum of squares, count) per channel.
+struct BatchNormPartial {
+  std::vector<double> sum;
+  std::vector<double> sum_sq;
+  std::int64_t count = 0;
+};
+
+// Computes the partial sums of a local activation batch laid out
+// [batch, channels] (row-major).
+BatchNormPartial LocalBatchNormPartial(std::span<const float> activations,
+                                       std::int64_t batch,
+                                       std::int64_t channels);
+
+// Combines subgroup members' partials (the payload of the auxiliary
+// all-reduce: 2*channels + 1 values per replica).
+BatchNormPartial CombinePartials(std::span<const BatchNormPartial> partials);
+
+// Finalizes mean/variance from combined partials.
+BatchNormStats FinalizeStats(const BatchNormPartial& partial);
+
+// Reference: stats of the pooled batch, computed directly.
+BatchNormStats PooledStats(std::span<const float> activations,
+                           std::int64_t batch, std::int64_t channels);
+
+// Simulated cost of the subgroup all-reduce per BN layer: payload is
+// 2*channels doubles over a ring of `subgroup` chips.
+SimTime BatchNormAllReduceSeconds(int subgroup, std::int64_t channels,
+                                  Bandwidth link_bandwidth,
+                                  SimTime per_step_overhead);
+
+}  // namespace tpu::models

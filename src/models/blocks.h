@@ -1,0 +1,49 @@
+// Representative HLO blocks of the model-parallel benchmarks, with the
+// sharding annotations the paper applies (Section 3.1 / 4.3-4.5). These are
+// the inputs to the SPMD partitioner for the Figure 9 experiments and for
+// the numeric partitioned-equivalence tests.
+//
+// The blocks capture the operators whose partitioning behaviour drives each
+// model's scaling: dense projections + FFN for the Transformer (feature
+// sharding with one all-reduce per partial-sum dot), convolution stacks with
+// shrinking spatial dims for SSD (halo exchange, small-late-layer
+// inefficiency), and convs + one-hot-gather ROIAlign + top-k for MaskRCNN.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hlo/hlo.h"
+#include "spmd/spmd.h"
+
+namespace tpu::models {
+
+struct ShardableBlock {
+  hlo::HloModule module;
+  std::vector<spmd::Sharding> shardings;  // one per parameter, in order
+  std::string description;
+};
+
+// Transformer layer at MLPerf "big" dimensions by default: Q/K/V and output
+// projections plus the 4x FFN. Weights are feature-sharded (vocab/num_heads/
+// hidden dims per Section 4.3): projection weights tiled on the output
+// feature dim, the FFN second matmul and output projection tiled on the
+// contracting dim (each contributes one partial-sum all-reduce).
+ShardableBlock TransformerBlock(std::int64_t tokens = 1024,
+                                std::int64_t hidden = 1024,
+                                std::int64_t ff = 4096);
+
+// SSD-style backbone stack on `image`^2 inputs: strided convolutions with
+// spatial dims shrinking toward the tiny late layers that limit spatial
+// partitioning (Section 4.4). The image parameter is tiled along H.
+ShardableBlock SsdBackboneBlock(std::int64_t batch = 4,
+                                std::int64_t image = 300);
+
+// MaskRCNN-style block: large-image backbone convs, ROIAlign as one-hot
+// matmul over a feature table, and proposal top-k (Section 4.5). Image tiled
+// along H; the gather's one-hot matrix tiled on the ROI (row) dim.
+ShardableBlock MaskRcnnBlock(std::int64_t batch = 1, std::int64_t image = 800,
+                             std::int64_t rois = 1000);
+
+}  // namespace tpu::models

@@ -1,0 +1,84 @@
+#include "models/embedding.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace tpu::models {
+
+EmbeddingPlacement ChoosePlacement(const std::vector<EmbeddingTableSpec>& tables,
+                                   int num_chips, Bytes replicate_threshold) {
+  TPU_CHECK_GT(num_chips, 0);
+  EmbeddingPlacement placement;
+  placement.per_table.reserve(tables.size());
+  for (const EmbeddingTableSpec& table : tables) {
+    TPU_CHECK_GT(table.rows, 0);
+    TPU_CHECK_GT(table.dim, 0);
+    if (table.bytes() <= replicate_threshold) {
+      placement.per_table.push_back(Placement::kReplicated);
+      placement.bytes_per_chip += table.bytes();
+      ++placement.replicated_tables;
+    } else {
+      placement.per_table.push_back(Placement::kRowSharded);
+      placement.bytes_per_chip += CeilDiv(table.rows, num_chips) *
+                                  table.dim * 4;
+      ++placement.sharded_tables;
+    }
+  }
+  return placement;
+}
+
+PartitionedEmbeddings::PartitionedEmbeddings(
+    std::vector<EmbeddingTableSpec> tables, int num_chips,
+    Bytes replicate_threshold)
+    : tables_(std::move(tables)),
+      num_chips_(num_chips),
+      placement_(ChoosePlacement(tables_, num_chips, replicate_threshold)) {}
+
+float PartitionedEmbeddings::ReferenceValue(int table, std::int64_t row,
+                                            std::int64_t col) {
+  // A cheap deterministic hash: the "trained" table contents.
+  std::uint64_t h = static_cast<std::uint64_t>(table) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(row) * 0xbf58476d1ce4e5b9ULL;
+  h ^= static_cast<std::uint64_t>(col) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<float>(h % 2048) / 1024.0f - 1.0f;
+}
+
+int PartitionedEmbeddings::OwnerOf(int table, std::int64_t row,
+                                   int asking_chip) const {
+  TPU_CHECK_GE(table, 0);
+  TPU_CHECK_LT(table, static_cast<int>(tables_.size()));
+  TPU_CHECK_GE(row, 0);
+  TPU_CHECK_LT(row, tables_[table].rows);
+  if (placement_.per_table[table] == Placement::kReplicated) {
+    return asking_chip;
+  }
+  // Row-sharded: contiguous row ranges per chip (ceil split).
+  const std::int64_t chunk = CeilDiv(tables_[table].rows, num_chips_);
+  return static_cast<int>(row / chunk);
+}
+
+PartitionedEmbeddings::LookupResult PartitionedEmbeddings::Lookup(
+    int table, std::int64_t row, int asking_chip) {
+  TPU_CHECK_GE(asking_chip, 0);
+  TPU_CHECK_LT(asking_chip, num_chips_);
+  const int owner = OwnerOf(table, row, asking_chip);
+  LookupResult result;
+  result.remote = owner != asking_chip;
+  const std::int64_t dim = tables_[table].dim;
+  result.vector.resize(dim);
+  for (std::int64_t c = 0; c < dim; ++c) {
+    result.vector[c] = ReferenceValue(table, row, c);
+  }
+  if (result.remote) {
+    ++remote_lookups_;
+    remote_bytes_ += dim * 4;
+  } else {
+    ++local_lookups_;
+  }
+  return result;
+}
+
+}  // namespace tpu::models

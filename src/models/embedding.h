@@ -1,0 +1,81 @@
+// Partitioned embedding tables for DLRM (Section 4.6).
+//
+// The Criteo model's embedding tables are too large for any single chip's
+// HBM, so the paper partitions the large tables across chips (row-sharded)
+// while replicating the small ones. This module implements that placement
+// functionally: lookups against the partitioned layout return exactly the
+// same vectors as against a single-machine copy, while the traffic
+// accounting records the all-to-all exchange the sharded lookups require —
+// the communication the DLRM step-time model charges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace tpu::models {
+
+struct EmbeddingTableSpec {
+  std::int64_t rows = 0;
+  std::int64_t dim = 128;
+  Bytes bytes() const { return rows * dim * 4; }
+};
+
+enum class Placement { kReplicated, kRowSharded };
+
+struct EmbeddingPlacement {
+  std::vector<Placement> per_table;
+  Bytes bytes_per_chip = 0;   // HBM cost of the layout
+  int replicated_tables = 0;
+  int sharded_tables = 0;
+};
+
+// The paper's policy: replicate a table when it is small enough that local
+// lookups are cheaper than an all-to-all; shard the rest by rows.
+EmbeddingPlacement ChoosePlacement(const std::vector<EmbeddingTableSpec>& tables,
+                                   int num_chips,
+                                   Bytes replicate_threshold = 64 * kMiB);
+
+// A functional partitioned embedding bank across `num_chips` simulated
+// chips. Tables are deterministic functions of (table, row, column) so the
+// reference values need no storage; what is stored mirrors the real layout
+// so lookups must route to the right owner.
+class PartitionedEmbeddings {
+ public:
+  PartitionedEmbeddings(std::vector<EmbeddingTableSpec> tables, int num_chips,
+                        Bytes replicate_threshold = 64 * kMiB);
+
+  const EmbeddingPlacement& placement() const { return placement_; }
+  int num_chips() const { return num_chips_; }
+
+  // The value a single-machine (unpartitioned) embedding would return.
+  static float ReferenceValue(int table, std::int64_t row, std::int64_t col);
+
+  // Chip that owns `row` of `table` under the current placement (the asking
+  // chip itself for replicated tables).
+  int OwnerOf(int table, std::int64_t row, int asking_chip) const;
+
+  struct LookupResult {
+    std::vector<float> vector;      // the embedding row (dim floats)
+    bool remote = false;            // required a cross-chip fetch
+  };
+  // Lookup as issued by `asking_chip`; remote lookups add to the traffic
+  // counters (the per-step all-to-all payload).
+  LookupResult Lookup(int table, std::int64_t row, int asking_chip);
+
+  // Traffic accounting since construction.
+  Bytes remote_bytes() const { return remote_bytes_; }
+  std::int64_t remote_lookups() const { return remote_lookups_; }
+  std::int64_t local_lookups() const { return local_lookups_; }
+
+ private:
+  std::vector<EmbeddingTableSpec> tables_;
+  int num_chips_;
+  EmbeddingPlacement placement_;
+  Bytes remote_bytes_ = 0;
+  std::int64_t remote_lookups_ = 0;
+  std::int64_t local_lookups_ = 0;
+};
+
+}  // namespace tpu::models

@@ -1,0 +1,215 @@
+#include "models/model_specs.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace tpu::models {
+
+const char* BenchmarkName(Benchmark benchmark) {
+  switch (benchmark) {
+    case Benchmark::kBert: return "BERT";
+    case Benchmark::kResNet50: return "ResNet-50";
+    case Benchmark::kTransformer: return "Transformer";
+    case Benchmark::kSsd: return "SSD";
+    case Benchmark::kMaskRcnn: return "MaskRCNN";
+    case Benchmark::kDlrm: return "DLRM";
+  }
+  return "?";
+}
+
+std::vector<Benchmark> AllBenchmarks() {
+  return {Benchmark::kBert,       Benchmark::kResNet50,
+          Benchmark::kTransformer, Benchmark::kSsd,
+          Benchmark::kMaskRcnn,    Benchmark::kDlrm};
+}
+
+double ModelSpec::ExamplesToConverge(std::int64_t global_batch) const {
+  TPU_CHECK_GT(global_batch, 0);
+  TPU_CHECK_LE(global_batch, max_global_batch)
+      << name << " does not converge at batch " << global_batch;
+  // At or below the reference batch the model is in the "perfect scaling"
+  // regime (Shallue et al. 2018); above it, extra epochs are needed (e.g.
+  // ResNet-50: 44 epochs at 4K -> 88 at 64K, exponent 0.25 over the 16x).
+  const double ratio =
+      static_cast<double>(global_batch) / static_cast<double>(reference_batch);
+  const double penalty =
+      ratio > 1.0 ? std::pow(ratio, batch_scaling_exponent) : 1.0;
+  return static_cast<double>(reference_examples_to_converge) * penalty;
+}
+
+std::int64_t ModelSpec::StepsToConverge(std::int64_t global_batch) const {
+  return static_cast<std::int64_t>(
+      std::ceil(ExamplesToConverge(global_batch) / global_batch));
+}
+
+double ModelSpec::EpochsToConverge(std::int64_t global_batch) const {
+  return ExamplesToConverge(global_batch) /
+         static_cast<double>(examples_per_epoch);
+}
+
+namespace {
+
+ModelSpec MakeBert() {
+  ModelSpec spec;
+  spec.benchmark = Benchmark::kBert;
+  spec.name = "BERT";
+  spec.parameters = 330'000'000;           // BERT-large
+  // Effective training FLOPs per sequence: masked-LM objective with the
+  // average sequence well under the 512 cap.
+  spec.flops_per_example = 0.8e12;
+  spec.rows_per_example = 512;
+  spec.examples_per_epoch = 156'000'000;   // Wikipedia sequences
+  spec.max_global_batch = 32768;           // LAMB large-batch regime
+  spec.kind = ParallelismKind::kDataParallel;
+  spec.reference_batch = 8192;             // per-chip batch 2 at 4096 chips
+  spec.reference_examples_to_converge = 6'000'000;
+  spec.batch_scaling_exponent = 0.3;
+  spec.eval_examples = 10'000;
+  spec.eval_flops_per_example = 3.3e11;    // forward only
+  return spec;
+}
+
+ModelSpec MakeResNet50() {
+  ModelSpec spec;
+  spec.benchmark = Benchmark::kResNet50;
+  spec.name = "ResNet-50";
+  spec.parameters = 25'600'000;
+  spec.flops_per_example = 12.3e9;         // ~3x the 4.1 GFLOP forward pass
+  spec.rows_per_example = 784;
+  spec.examples_per_epoch = 1'281'167;     // ImageNet-1K
+  spec.max_global_batch = 65536;
+  spec.kind = ParallelismKind::kDataParallel;
+  spec.reference_batch = 4096;             // 44 epochs (Section 5)
+  spec.reference_examples_to_converge = 44 * 1'281'167LL;
+  spec.batch_scaling_exponent = 0.25;      // 88 epochs at 64K
+  spec.eval_examples = 50'000;
+  spec.eval_flops_per_example = 4.1e9;
+  return spec;
+}
+
+ModelSpec MakeTransformer() {
+  ModelSpec spec;
+  spec.benchmark = Benchmark::kTransformer;
+  spec.name = "Transformer";
+  spec.parameters = 210'000'000;           // MLPerf "big" transformer
+  spec.flops_per_example = 2.0e10;
+  spec.rows_per_example = 64;
+  spec.examples_per_epoch = 4'500'000;     // WMT en-de sentence pairs
+  spec.max_global_batch = 2048;            // the fixed-batch wall (Section 4.3)
+  spec.kind = ParallelismKind::kFeatureSharded;
+  spec.max_model_parallel_cores = 4;       // weights sharded on 4 X-neighbors
+  spec.reference_batch = 2048;
+  spec.reference_examples_to_converge = 8'000'000;
+  spec.batch_scaling_exponent = 0.0;       // batch never exceeds reference
+  spec.eval_examples = 3'000;
+  spec.eval_flops_per_example = 7.0e9;
+  return spec;
+}
+
+ModelSpec MakeSsd() {
+  ModelSpec spec;
+  spec.benchmark = Benchmark::kSsd;
+  spec.name = "SSD";
+  spec.parameters = 36'000'000;            // SSD + ResNet-34 backbone
+  spec.flops_per_example = 1.4e11;
+  spec.rows_per_example = 1100;
+  spec.examples_per_epoch = 118'287;       // COCO train2017
+  spec.max_global_batch = 4096;            // new hyperparameters (Section 4.4)
+  spec.kind = ParallelismKind::kSpatialPartition;
+  spec.max_model_parallel_cores = 8;       // spatial partitioning to 8 cores
+  spec.reference_batch = 2048;             // MLPerf v0.6 batch
+  spec.reference_examples_to_converge = 49 * 118'287LL;  // ~49 epochs
+  spec.batch_scaling_exponent = 0.15;
+  spec.eval_examples = 5'000;
+  spec.eval_flops_per_example = 3.4e10;
+  return spec;
+}
+
+ModelSpec MakeMaskRcnn() {
+  ModelSpec spec;
+  spec.benchmark = Benchmark::kMaskRcnn;
+  spec.name = "MaskRCNN";
+  spec.parameters = 46'000'000;            // ResNet-50 + FPN + heads
+  spec.flops_per_example = 9.0e11;         // 800x1333 two-stage detector
+  // Two-stage detectors run many tiny RPN/ROI-head ops; the effective MXU
+  // rows per example are far below the image size would suggest.
+  spec.rows_per_example = 18;
+  spec.examples_per_epoch = 118'287;
+  spec.max_global_batch = 256;             // quality-limited (Section 4.5)
+  spec.kind = ParallelismKind::kSpatialPartition;
+  spec.max_model_parallel_cores = 4;       // 256 examples over 1024 cores
+  spec.reference_batch = 128;              // MLPerf v0.6 batch
+  spec.reference_examples_to_converge = 13 * 118'287LL;
+  spec.batch_scaling_exponent = 0.2;
+  spec.eval_examples = 5'000;
+  spec.eval_flops_per_example = 3.0e11;
+  return spec;
+}
+
+ModelSpec MakeDlrm() {
+  ModelSpec spec;
+  spec.benchmark = Benchmark::kDlrm;
+  spec.name = "DLRM";
+  spec.parameters = 500'000;                // dense MLPs (all-reduced)
+  spec.embedding_parameters = 24'000'000'000;  // table-partitioned
+  spec.flops_per_example = 1.0e7;
+  spec.rows_per_example = 1;
+  spec.examples_per_epoch = 4'000'000'000;  // Criteo Terabyte
+  spec.max_global_batch = 65536;            // (Section 4.6)
+  spec.kind = ParallelismKind::kDataParallel;
+  spec.reference_batch = 65536;
+  spec.reference_examples_to_converge = 4'000'000'000;  // ~1 epoch
+  spec.batch_scaling_exponent = 0.0;
+  spec.eval_examples = 90'000'000;          // the 90M-sample AUC eval set
+  spec.eval_flops_per_example = 3.5e6;
+  return spec;
+}
+
+}  // namespace
+
+const ModelSpec& GetModelSpec(Benchmark benchmark) {
+  static const ModelSpec bert = MakeBert();
+  static const ModelSpec resnet = MakeResNet50();
+  static const ModelSpec transformer = MakeTransformer();
+  static const ModelSpec ssd = MakeSsd();
+  static const ModelSpec mask_rcnn = MakeMaskRcnn();
+  static const ModelSpec dlrm = MakeDlrm();
+  switch (benchmark) {
+    case Benchmark::kBert: return bert;
+    case Benchmark::kResNet50: return resnet;
+    case Benchmark::kTransformer: return transformer;
+    case Benchmark::kSsd: return ssd;
+    case Benchmark::kMaskRcnn: return mask_rcnn;
+    case Benchmark::kDlrm: return dlrm;
+  }
+  return bert;  // unreachable
+}
+
+SubmissionScale GetSubmissionScale(Benchmark benchmark) {
+  switch (benchmark) {
+    case Benchmark::kBert: return {4096, 8192, 1};
+    case Benchmark::kResNet50: return {4096, 65536, 1};
+    case Benchmark::kTransformer: return {4096, 2048, 4};
+    case Benchmark::kSsd: return {4096, 4096, 8};
+    case Benchmark::kMaskRcnn: return {512, 256, 4};
+    case Benchmark::kDlrm: return {256, 65536, 1};
+  }
+  return {};
+}
+
+double MlperfV06Minutes(Benchmark benchmark) {
+  // Google's MLPerf v0.6 submissions (Table 1's speedup baseline).
+  switch (benchmark) {
+    case Benchmark::kBert: return 0.0;  // new in v0.7
+    case Benchmark::kResNet50: return 1.28;
+    case Benchmark::kTransformer: return 0.85;
+    case Benchmark::kSsd: return 1.21;
+    case Benchmark::kMaskRcnn: return 35.6;
+    case Benchmark::kDlrm: return 0.0;  // new in v0.7
+  }
+  return 0.0;
+}
+
+}  // namespace tpu::models

@@ -1,0 +1,87 @@
+// Specifications of the six MLPerf v0.7 benchmarks the paper scales
+// (Section 4). Parameter counts, per-example training FLOPs and dataset
+// sizes use public numbers for the reference models; the convergence curves
+// are anchored to the behaviour the paper reports (e.g. ResNet-50 trains in
+// 44 epochs at batch 4K but 88 epochs at batch 64K; Transformer cannot scale
+// its batch past 2048 at all — Shallue et al.'s batch-size wall).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace tpu::models {
+
+enum class Benchmark {
+  kBert,
+  kResNet50,
+  kTransformer,
+  kSsd,
+  kMaskRcnn,
+  kDlrm,
+};
+
+const char* BenchmarkName(Benchmark benchmark);
+std::vector<Benchmark> AllBenchmarks();
+
+enum class ParallelismKind {
+  kDataParallel,      // batch scales: BERT, ResNet-50
+  kSpatialPartition,  // images sharded over cores: SSD, MaskRCNN
+  kFeatureSharded,    // weights sharded over X-neighbors: Transformer
+};
+
+struct ModelSpec {
+  Benchmark benchmark;
+  std::string name;
+
+  std::int64_t parameters = 0;           // dense (all-reduced) weights
+  std::int64_t embedding_parameters = 0; // table-partitioned (DLRM only)
+  Flops flops_per_example = 0;           // fwd + bwd training FLOPs
+  // Matrix-unit rows one example contributes (tokens for language models,
+  // output spatial positions for vision): drives the small-batch MXU
+  // utilization rolloff in the step-time model.
+  double rows_per_example = 1.0;
+  std::int64_t examples_per_epoch = 0;
+
+  // Parallelism limits.
+  std::int64_t max_global_batch = 0;   // largest converging batch
+  ParallelismKind kind = ParallelismKind::kDataParallel;
+  int max_model_parallel_cores = 1;    // spatial/feature partition width
+
+  // Convergence curve: examples processed to reach the MLPerf quality target
+  // at the reference batch; larger batches pay a mild efficiency exponent.
+  std::int64_t reference_batch = 0;
+  std::int64_t reference_examples_to_converge = 0;
+  double batch_scaling_exponent = 0.0;
+
+  // Evaluation per MLPerf rules.
+  std::int64_t eval_examples = 0;
+  Flops eval_flops_per_example = 0;
+
+  // Epochs (fractional) of examples needed to converge at `global_batch`.
+  double ExamplesToConverge(std::int64_t global_batch) const;
+  std::int64_t StepsToConverge(std::int64_t global_batch) const;
+  double EpochsToConverge(std::int64_t global_batch) const;
+
+  // Gradient payload all-reduced each step, in float elements.
+  std::int64_t gradient_elements() const { return parameters; }
+};
+
+const ModelSpec& GetModelSpec(Benchmark benchmark);
+
+// The chip scale each benchmark was submitted at in MLPerf v0.7 (Table 1)
+// and the corresponding global batch.
+struct SubmissionScale {
+  int chips = 0;
+  std::int64_t global_batch = 0;
+  int model_parallel_cores = 1;  // 1 = pure data parallelism
+};
+SubmissionScale GetSubmissionScale(Benchmark benchmark);
+
+// Google's MLPerf v0.6 result for the speedup column of Table 1, in minutes
+// (0 where no v0.6 submission exists: BERT and DLRM are new in v0.7).
+double MlperfV06Minutes(Benchmark benchmark);
+
+}  // namespace tpu::models

@@ -1,0 +1,115 @@
+#include "network/network.h"
+
+#include <algorithm>
+
+namespace tpu::net {
+
+Network::Network(const topo::MeshTopology* topology,
+                 const NetworkConfig& config, sim::Simulator* simulator)
+    : topology_(topology), config_(config), simulator_(simulator) {
+  TPU_CHECK(topology != nullptr);
+  TPU_CHECK(simulator != nullptr);
+  link_resources_.reserve(topology_->links().size());
+  for (std::size_t i = 0; i < topology_->links().size(); ++i) {
+    link_resources_.emplace_back(simulator_);
+  }
+  degradation_.assign(topology_->links().size(), 1.0);
+}
+
+void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
+                   sim::Simulator::Callback on_done) {
+  TPU_CHECK_GE(bytes, 0);
+  ++traffic_.messages;
+  if (from == to) {
+    simulator_->Schedule(config_.message_overhead, std::move(on_done));
+    return;
+  }
+
+  const std::vector<topo::LinkId> route = topology_->RouteLinks(from, to);
+  TPU_CHECK(!route.empty());
+
+  // Store-and-forward per hop at message granularity: at each hop the message
+  // waits for the link to be free, occupies it for bytes/bandwidth, and then
+  // pays the propagation latency. We precompute the full hop schedule now —
+  // FIFO ordering per link is preserved because reservations are made in
+  // Send-call order (the simulator is single-threaded).
+  SimTime head = simulator_->now() + config_.message_overhead;
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    const topo::Link& link = topology_->link(route[i]);
+    const LinkParams& params = config_.ParamsFor(link.type);
+    const SimTime serialize = static_cast<double>(bytes) / params.bandwidth *
+                              degradation_[route[i]];
+
+    sim::FifoResource& resource = link_resources_[route[i]];
+    const SimTime start = resource.ReserveFrom(head, serialize);
+    const bool last_hop = i + 1 == route.size();
+    if (last_hop) {
+      // The completion callback fires when the message tail has arrived.
+      simulator_->ScheduleAt(start + serialize + params.latency,
+                             std::move(on_done));
+    }
+    head = start + serialize + params.latency;
+
+    switch (link.type) {
+      case topo::LinkType::kMeshX:
+        traffic_.mesh_x_bytes += bytes;
+        break;
+      case topo::LinkType::kCrossPodX:
+        traffic_.cross_pod_x_bytes += bytes;
+        break;
+      case topo::LinkType::kMeshY:
+        traffic_.mesh_y_bytes += bytes;
+        break;
+      case topo::LinkType::kWrapY:
+        traffic_.wrap_y_bytes += bytes;
+        break;
+    }
+  }
+}
+
+SimTime Network::EstimateArrival(topo::ChipId from, topo::ChipId to,
+                                 Bytes bytes) const {
+  if (from == to) return simulator_->now() + config_.message_overhead;
+  SimTime head = simulator_->now() + config_.message_overhead;
+  for (topo::LinkId id : topology_->RouteLinks(from, to)) {
+    const topo::Link& link = topology_->link(id);
+    const LinkParams& params = config_.ParamsFor(link.type);
+    const SimTime serialize = static_cast<double>(bytes) / params.bandwidth;
+    const SimTime start = std::max(head, link_resources_[id].free_at());
+    head = start + serialize + params.latency;
+  }
+  return head;
+}
+
+void Network::DegradeLink(topo::LinkId link, double factor) {
+  TPU_CHECK_GE(link, 0);
+  TPU_CHECK_LT(link, static_cast<topo::LinkId>(degradation_.size()));
+  TPU_CHECK_GE(factor, 1.0);
+  degradation_[link] = factor;
+}
+
+double Network::MeanActiveLinkUtilization() const {
+  const SimTime elapsed = simulator_->now();
+  if (elapsed <= 0.0) return 0.0;
+  double total = 0;
+  int active = 0;
+  for (const auto& resource : link_resources_) {
+    if (resource.busy_time() > 0) {
+      total += resource.busy_time() / elapsed;
+      ++active;
+    }
+  }
+  return active > 0 ? total / active : 0.0;
+}
+
+double Network::MaxLinkUtilization() const {
+  const SimTime elapsed = simulator_->now();
+  if (elapsed <= 0.0) return 0.0;
+  double max_busy = 0.0;
+  for (const auto& resource : link_resources_) {
+    max_busy = std::max(max_busy, resource.busy_time());
+  }
+  return max_busy / elapsed;
+}
+
+}  // namespace tpu::net

@@ -1,0 +1,106 @@
+// Timed message transport over the multipod interconnect.
+//
+// Each directed physical link is a FIFO resource with a bandwidth and a
+// propagation latency; cross-pod optical links (Section 1, Figure 2) carry
+// higher latency than within-pod links. Messages follow the dimension-ordered
+// sparse routes from the topology and are forwarded store-and-forward per
+// hop at message granularity — collectives chunk their payloads, so this
+// matches the chunk-pipelined behaviour of real ring collectives while
+// naturally halving effective bandwidth on folded (mesh-dimension) rings,
+// where each physical link carries two ring edges.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "topology/topology.h"
+
+namespace tpu::net {
+
+struct LinkParams {
+  Bandwidth bandwidth = GBps(70.0);  // per direction
+  SimTime latency = Micros(0.3);
+};
+
+struct NetworkConfig {
+  LinkParams mesh_x{GBps(70.0), Micros(0.3)};
+  LinkParams cross_pod_x{GBps(70.0), Micros(1.5)};  // longer optical links
+  LinkParams mesh_y{GBps(70.0), Micros(0.3)};
+  LinkParams wrap_y{GBps(70.0), Micros(0.5)};
+  // Fixed software/DMA overhead charged once per message at the sender.
+  SimTime message_overhead = Micros(1.0);
+
+  const LinkParams& ParamsFor(topo::LinkType type) const {
+    switch (type) {
+      case topo::LinkType::kMeshX:
+        return mesh_x;
+      case topo::LinkType::kCrossPodX:
+        return cross_pod_x;
+      case topo::LinkType::kMeshY:
+        return mesh_y;
+      case topo::LinkType::kWrapY:
+        return wrap_y;
+    }
+    return mesh_x;  // unreachable
+  }
+};
+
+// Per-link-type traffic accounting, used by benches to report where bytes go
+// (e.g. the 32x X-vs-Y payload asymmetry of the 2-D all-reduce, Section 3.3).
+struct TrafficStats {
+  Bytes mesh_x_bytes = 0;
+  Bytes cross_pod_x_bytes = 0;
+  Bytes mesh_y_bytes = 0;
+  Bytes wrap_y_bytes = 0;
+  std::int64_t messages = 0;
+
+  Bytes total_bytes() const {
+    return mesh_x_bytes + cross_pod_x_bytes + mesh_y_bytes + wrap_y_bytes;
+  }
+};
+
+class Network {
+ public:
+  Network(const topo::MeshTopology* topology, const NetworkConfig& config,
+          sim::Simulator* simulator);
+
+  const topo::MeshTopology& topology() const { return *topology_; }
+  sim::Simulator& simulator() { return *simulator_; }
+  const NetworkConfig& config() const { return config_; }
+
+  // Sends `bytes` from `from` to `to` along the dimension-ordered route.
+  // `on_done` fires at the simulated time the message fully arrives.
+  // Zero-byte messages still pay per-message overhead and hop latency
+  // (they model control/barrier traffic).
+  void Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
+            sim::Simulator::Callback on_done);
+
+  // Pure function of current link occupancy: the time Send would complete if
+  // issued now. Does not mutate state.
+  SimTime EstimateArrival(topo::ChipId from, topo::ChipId to,
+                          Bytes bytes) const;
+
+  const TrafficStats& traffic() const { return traffic_; }
+  // Highest per-link utilization (busy fraction of elapsed sim time).
+  double MaxLinkUtilization() const;
+  // Mean utilization across links that carried any traffic.
+  double MeanActiveLinkUtilization() const;
+
+  // Failure/straggler injection: multiplies the serialization time of one
+  // directed link (a flaky optical link, a congested neighbor). factor >= 1.
+  void DegradeLink(topo::LinkId link, double factor);
+
+ private:
+  const topo::MeshTopology* topology_;
+  NetworkConfig config_;
+  sim::Simulator* simulator_;
+  std::vector<sim::FifoResource> link_resources_;  // indexed by LinkId
+  std::vector<double> degradation_;                // serialize multiplier
+  TrafficStats traffic_;
+};
+
+}  // namespace tpu::net

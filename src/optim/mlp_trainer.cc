@@ -1,0 +1,105 @@
+#include "optim/mlp_trainer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tpu::optim {
+
+using tensor::Tensor;
+
+MlpTrainer::MlpTrainer(const MlpConfig& config)
+    : config_(config),
+      teacher_w1_(Tensor::Random({config.input_dim, config.hidden_dim},
+                                 config.teacher_seed)),
+      teacher_w2_(Tensor::Random({config.hidden_dim, config.output_dim},
+                                 config.teacher_seed + 1)),
+      w1_(Tensor::Random({config.input_dim, config.hidden_dim},
+                         config.student_seed)),
+      w2_(Tensor::Random({config.hidden_dim, config.output_dim},
+                         config.student_seed + 1)) {}
+
+Tensor MlpTrainer::Teacher(const Tensor& x) const {
+  return tensor::MatMul(tensor::Relu(tensor::MatMul(x, teacher_w1_)),
+                        teacher_w2_);
+}
+
+MlpTrainer::Gradients MlpTrainer::ForwardBackward(const Tensor& x,
+                                                  const Tensor& target) const {
+  const tensor::Index batch = x.dim(0);
+  // Forward.
+  const Tensor h_pre = tensor::MatMul(x, w1_);
+  const Tensor h = tensor::Relu(h_pre);
+  const Tensor y = tensor::MatMul(h, w2_);
+  const Tensor err = tensor::Sub(y, target);
+
+  Gradients grads{Tensor(), Tensor(), 0.0};
+  double loss = 0;
+  for (tensor::Index i = 0; i < err.num_elements(); ++i) {
+    loss += 0.5 * err.flat(i) * err.flat(i);
+  }
+  grads.loss = loss / static_cast<double>(batch);
+
+  // Backward (MSE): dY = err / batch.
+  const Tensor dy = tensor::Scale(err, 1.0f / static_cast<float>(batch));
+  grads.w2 = tensor::MatMul(tensor::Transpose2D(h), dy);
+  const Tensor dh = tensor::MatMul(dy, tensor::Transpose2D(w2_));
+  // Relu mask.
+  Tensor dh_pre = dh;
+  for (tensor::Index i = 0; i < dh_pre.num_elements(); ++i) {
+    if (h_pre.flat(i) <= 0.0f) dh_pre.flat(i) = 0.0f;
+  }
+  grads.w1 = tensor::MatMul(tensor::Transpose2D(x), dh_pre);
+  return grads;
+}
+
+TrainResult MlpTrainer::Train(Optimizer& optimizer, std::int64_t batch,
+                              int steps, std::uint64_t data_seed) {
+  TPU_CHECK_GT(batch, 0);
+  TPU_CHECK_GT(steps, 0);
+  TrainResult result;
+  Rng data_rng(data_seed);
+  for (int step = 0; step < steps; ++step) {
+    Tensor x({batch, config_.input_dim});
+    for (tensor::Index i = 0; i < x.num_elements(); ++i) {
+      x.flat(i) = static_cast<float>(data_rng.NextGaussian());
+    }
+    const Tensor target = Teacher(x);
+    const Gradients grads = ForwardBackward(x, target);
+    if (step == 0) result.initial_loss = grads.loss;
+    result.loss_curve.push_back(grads.loss);
+    if (!std::isfinite(grads.loss) ||
+        grads.loss > result.initial_loss * 100.0) {
+      result.diverged = true;
+      result.final_loss = grads.loss;
+      return result;
+    }
+    std::span<float> w1_span(w1_.data(), w1_.num_elements());
+    std::span<const float> g1_span(grads.w1.data(), grads.w1.num_elements());
+    optimizer.Step(w1_span, g1_span, state_w1_, step);
+    std::span<float> w2_span(w2_.data(), w2_.num_elements());
+    std::span<const float> g2_span(grads.w2.data(), grads.w2.num_elements());
+    optimizer.Step(w2_span, g2_span, state_w2_, step);
+  }
+  result.final_loss = EvaluateLoss(512, data_seed + 999);
+  return result;
+}
+
+double MlpTrainer::EvaluateLoss(std::int64_t batch, std::uint64_t data_seed) {
+  Rng data_rng(data_seed);
+  Tensor x({batch, config_.input_dim});
+  for (tensor::Index i = 0; i < x.num_elements(); ++i) {
+    x.flat(i) = static_cast<float>(data_rng.NextGaussian());
+  }
+  const Tensor target = Teacher(x);
+  const Tensor err = tensor::Sub(
+      tensor::MatMul(tensor::Relu(tensor::MatMul(x, w1_)), w2_), target);
+  double loss = 0;
+  for (tensor::Index i = 0; i < err.num_elements(); ++i) {
+    loss += 0.5 * err.flat(i) * err.flat(i);
+  }
+  return loss / static_cast<double>(batch);
+}
+
+}  // namespace tpu::optim

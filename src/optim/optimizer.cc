@@ -1,0 +1,189 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tpu::optim {
+
+void Optimizer::Step(std::span<float> weights, std::span<const float> grads,
+                     SlotState& state, std::int64_t step) {
+  TPU_CHECK_EQ(weights.size(), grads.size());
+  state.EnsureSize(weights.size());
+  std::vector<float> direction(weights.size());
+  ComputeDirection(weights, grads, state, step, direction);
+  const std::vector<double> stats = PartialStats(weights, grads, direction);
+  Apply(weights, direction, state, stats);
+}
+
+namespace {
+
+double SumSquares(std::span<const float> values) {
+  double sum = 0;
+  for (float v : values) sum += static_cast<double>(v) * v;
+  return sum;
+}
+
+class MomentumSgd final : public Optimizer {
+ public:
+  explicit MomentumSgd(const MomentumSgdConfig& config) : config_(config) {}
+
+  std::string name() const override { return "momentum-sgd"; }
+
+  UpdateCost update_cost() const override {
+    // m = mu*m + g; w -= lr*m : ~4 flops; read/write w, m; read g.
+    return {4.0, 5 * 4};
+  }
+
+  void ComputeDirection(std::span<const float> weights,
+                        std::span<const float> grads, SlotState& state,
+                        std::int64_t /*step*/,
+                        std::span<float> direction) override {
+    (void)weights;
+    state.EnsureSize(grads.size());
+    for (std::size_t i = 0; i < grads.size(); ++i) {
+      state.m[i] = config_.momentum * state.m[i] + grads[i];
+      direction[i] = state.m[i];
+    }
+  }
+
+  std::vector<double> PartialStats(std::span<const float>,
+                                   std::span<const float>,
+                                   std::span<const float>) const override {
+    return {};
+  }
+
+  void Apply(std::span<float> weights, std::span<const float> direction,
+             SlotState&, std::span<const double>) override {
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      weights[i] -= config_.learning_rate * direction[i];
+    }
+  }
+
+ private:
+  MomentumSgdConfig config_;
+};
+
+// LARS (You et al. 2017): layer-wise adaptive rate scaling. The local
+// learning rate is eta * ||w|| / (||g|| + wd * ||w||); the momentum buffer
+// accumulates the scaled update.
+class Lars final : public Optimizer {
+ public:
+  explicit Lars(const LarsConfig& config) : config_(config) {}
+
+  std::string name() const override { return "lars"; }
+
+  UpdateCost update_cost() const override {
+    // norms + momentum + apply: ~8 flops; read/write w, m; read g; norms.
+    return {8.0, 6 * 4};
+  }
+
+  void ComputeDirection(std::span<const float> weights,
+                        std::span<const float> grads, SlotState& state,
+                        std::int64_t /*step*/,
+                        std::span<float> direction) override {
+    state.EnsureSize(grads.size());
+    // Direction phase is the raw regularized gradient; the trust ratio needs
+    // global norms, so the momentum update happens in Apply.
+    for (std::size_t i = 0; i < grads.size(); ++i) {
+      direction[i] = grads[i] + config_.weight_decay * weights[i];
+    }
+  }
+
+  std::vector<double> PartialStats(std::span<const float> weights,
+                                   std::span<const float> grads,
+                                   std::span<const float>) const override {
+    return {SumSquares(weights), SumSquares(grads)};
+  }
+
+  void Apply(std::span<float> weights, std::span<const float> direction,
+             SlotState& state, std::span<const double> global_stats) override {
+    TPU_CHECK_EQ(global_stats.size(), 2u);
+    const double w_norm = std::sqrt(global_stats[0]);
+    const double g_norm = std::sqrt(global_stats[1]);
+    double local_lr = config_.learning_rate;
+    if (w_norm > 0 && g_norm > 0) {
+      local_lr *= config_.trust_coefficient * w_norm /
+                  (g_norm + config_.weight_decay * w_norm + config_.epsilon);
+    }
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      state.m[i] = config_.momentum * state.m[i] +
+                   static_cast<float>(local_lr) * direction[i];
+      weights[i] -= state.m[i];
+    }
+  }
+
+ private:
+  LarsConfig config_;
+};
+
+// LAMB (You et al. 2019): Adam moments plus a layer-wise trust ratio
+// ||w|| / ||update||.
+class Lamb final : public Optimizer {
+ public:
+  explicit Lamb(const LambConfig& config) : config_(config) {}
+
+  std::string name() const override { return "lamb"; }
+
+  UpdateCost update_cost() const override {
+    // m, v updates, bias correction, rsqrt, trust ratio, apply: ~24 flops;
+    // read/write w, m, v; read g.
+    return {24.0, 7 * 4};
+  }
+
+  void ComputeDirection(std::span<const float> weights,
+                        std::span<const float> grads, SlotState& state,
+                        std::int64_t step,
+                        std::span<float> direction) override {
+    state.EnsureSize(grads.size());
+    const double bc1 = 1.0 - std::pow(config_.beta1, step + 1);
+    const double bc2 = 1.0 - std::pow(config_.beta2, step + 1);
+    for (std::size_t i = 0; i < grads.size(); ++i) {
+      state.m[i] = config_.beta1 * state.m[i] + (1 - config_.beta1) * grads[i];
+      state.v[i] =
+          config_.beta2 * state.v[i] + (1 - config_.beta2) * grads[i] * grads[i];
+      const double m_hat = state.m[i] / bc1;
+      const double v_hat = state.v[i] / bc2;
+      direction[i] =
+          static_cast<float>(m_hat / (std::sqrt(v_hat) + config_.epsilon)) +
+          config_.weight_decay * weights[i];
+    }
+  }
+
+  std::vector<double> PartialStats(std::span<const float> weights,
+                                   std::span<const float>,
+                                   std::span<const float> direction)
+      const override {
+    return {SumSquares(weights), SumSquares(direction)};
+  }
+
+  void Apply(std::span<float> weights, std::span<const float> direction,
+             SlotState&, std::span<const double> global_stats) override {
+    TPU_CHECK_EQ(global_stats.size(), 2u);
+    const double w_norm = std::sqrt(global_stats[0]);
+    const double u_norm = std::sqrt(global_stats[1]);
+    double trust = 1.0;
+    if (w_norm > 0 && u_norm > 0) trust = w_norm / u_norm;
+    const double lr = config_.learning_rate * trust;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      weights[i] -= static_cast<float>(lr * direction[i]);
+    }
+  }
+
+ private:
+  LambConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<Optimizer> MakeMomentumSgd(const MomentumSgdConfig& config) {
+  return std::make_unique<MomentumSgd>(config);
+}
+std::unique_ptr<Optimizer> MakeLars(const LarsConfig& config) {
+  return std::make_unique<Lars>(config);
+}
+std::unique_ptr<Optimizer> MakeLamb(const LambConfig& config) {
+  return std::make_unique<Lamb>(config);
+}
+
+}  // namespace tpu::optim

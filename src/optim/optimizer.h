@@ -1,0 +1,106 @@
+// Numeric optimizers: momentum SGD, LARS (You et al. 2017, ResNet-50) and
+// LAMB (You et al. 2019, BERT) — the optimizers the paper's large-batch
+// training depends on (Sections 4.1, 4.2).
+//
+// Each optimizer is decomposed into three phases so that weight-update
+// sharding (Section 3.2, Xu et al. 2020) can be expressed exactly:
+//   1. ComputeDirection: elementwise slot-state update producing the raw
+//      update direction — runs independently on each weight shard;
+//   2. PartialStats: per-shard partial sums (squared norms) that a small
+//      cross-replica all-reduce turns into the global statistics LARS/LAMB
+//      trust ratios need;
+//   3. Apply: elementwise application with the global statistics.
+// A replicated (unsharded) Step composes the three phases on the full
+// arrays; the sharded executor in weight_update_sharding.h composes them on
+// shards. The two must agree to float tolerance — that is the correctness
+// property the tests assert.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace tpu::optim {
+
+// Per-variable optimizer slot state (zero-initialized, lazily sized).
+struct SlotState {
+  std::vector<float> m;  // momentum / first moment
+  std::vector<float> v;  // second moment (LAMB)
+
+  void EnsureSize(std::size_t n) {
+    if (m.size() != n) m.assign(n, 0.0f);
+    if (v.size() != n) v.assign(n, 0.0f);
+  }
+};
+
+// Per-element arithmetic/memory footprint, for the weight-update cost model.
+struct UpdateCost {
+  double flops_per_element = 0;
+  Bytes bytes_per_element = 0;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  virtual std::string name() const = 0;
+  virtual UpdateCost update_cost() const = 0;
+
+  // Phase 1: update slot state from the gradient, produce the raw update
+  // direction in `direction` (same length as the shard).
+  virtual void ComputeDirection(std::span<const float> weights,
+                                std::span<const float> grads, SlotState& state,
+                                std::int64_t step,
+                                std::span<float> direction) = 0;
+
+  // Phase 2: partial sums over this shard. Layout is optimizer-specific but
+  // fixed-size; summing the vectors of all shards elementwise yields the
+  // global statistics.
+  virtual std::vector<double> PartialStats(
+      std::span<const float> weights, std::span<const float> grads,
+      std::span<const float> direction) const = 0;
+
+  // Phase 3: apply the update with global statistics. `state` is the same
+  // shard's slot state passed to ComputeDirection (LARS finishes its
+  // momentum update here, scaled by the global trust ratio).
+  virtual void Apply(std::span<float> weights, std::span<const float> direction,
+                     SlotState& state,
+                     std::span<const double> global_stats) = 0;
+
+  // Convenience: unsharded update (the traditional replicated optimizer).
+  void Step(std::span<float> weights, std::span<const float> grads,
+            SlotState& state, std::int64_t step);
+};
+
+struct MomentumSgdConfig {
+  float learning_rate = 0.01f;
+  float momentum = 0.9f;
+};
+
+std::unique_ptr<Optimizer> MakeMomentumSgd(const MomentumSgdConfig& config);
+
+struct LarsConfig {
+  float learning_rate = 0.1f;
+  float momentum = 0.9f;
+  float trust_coefficient = 0.001f;  // eta
+  float weight_decay = 1e-4f;
+  float epsilon = 1e-9f;
+};
+
+std::unique_ptr<Optimizer> MakeLars(const LarsConfig& config);
+
+struct LambConfig {
+  float learning_rate = 0.001f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-6f;
+  float weight_decay = 0.01f;
+};
+
+std::unique_ptr<Optimizer> MakeLamb(const LambConfig& config);
+
+}  // namespace tpu::optim

@@ -1,0 +1,138 @@
+#include "optim/weight_update_sharding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace tpu::optim {
+namespace {
+
+struct ShardBounds {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t size() const { return end - begin; }
+};
+
+ShardBounds ShardOf(std::int64_t num_params, int num_replicas, int r) {
+  const std::int64_t chunk = CeilDiv(num_params, num_replicas);
+  ShardBounds b;
+  b.begin = std::min<std::int64_t>(num_params, r * chunk);
+  b.end = std::min<std::int64_t>(num_params, (r + 1) * chunk);
+  return b;
+}
+
+}  // namespace
+
+DistributedTrainer::DistributedTrainer(Optimizer* optimizer, int num_replicas,
+                                       std::int64_t num_params,
+                                       UpdateScheme scheme,
+                                       std::uint64_t weight_seed)
+    : optimizer_(optimizer),
+      num_replicas_(num_replicas),
+      num_params_(num_params),
+      scheme_(scheme),
+      state_(num_replicas) {
+  TPU_CHECK(optimizer != nullptr);
+  TPU_CHECK_GT(num_replicas, 0);
+  TPU_CHECK_GT(num_params, 0);
+  // Identical initial weights on every replica.
+  std::vector<float> init(num_params);
+  Rng rng(weight_seed);
+  for (float& w : init) w = static_cast<float>(rng.NextUniform(-0.5, 0.5));
+  weights_.assign(num_replicas, init);
+}
+
+void DistributedTrainer::Step(const std::vector<std::vector<float>>& grads) {
+  TPU_CHECK_EQ(static_cast<int>(grads.size()), num_replicas_);
+  for (const auto& g : grads) {
+    TPU_CHECK_EQ(static_cast<std::int64_t>(g.size()), num_params_);
+  }
+
+  // Cross-replica gradient sum (what the all-reduce / reduce-scatter
+  // computes). Summed once in fixed replica order so both schemes see the
+  // identical reduced values, as on the real machine.
+  std::vector<float> grad_sum(num_params_, 0.0f);
+  for (const auto& g : grads) {
+    for (std::int64_t i = 0; i < num_params_; ++i) grad_sum[i] += g[i];
+  }
+
+  if (scheme_ == UpdateScheme::kReplicated) {
+    for (int r = 0; r < num_replicas_; ++r) {
+      optimizer_->Step(weights_[r], grad_sum, state_[r], step_);
+    }
+    ++step_;
+    return;
+  }
+
+  // Weight-update sharding. Phase 1: each replica computes the update
+  // direction on its own shard only.
+  std::vector<std::vector<float>> directions(num_replicas_);
+  for (int r = 0; r < num_replicas_; ++r) {
+    const ShardBounds b = ShardOf(num_params_, num_replicas_, r);
+    directions[r].resize(b.size());
+    state_[r].EnsureSize(b.size());
+    std::span<float> w(weights_[r].data() + b.begin, b.size());
+    std::span<const float> g(grad_sum.data() + b.begin, b.size());
+    optimizer_->ComputeDirection(w, g, state_[r], step_, directions[r]);
+  }
+
+  // Phase 2: small all-reduce of the per-shard partial statistics (this is
+  // how LARS/LAMB trust ratios see global norms despite sharding).
+  std::vector<double> global_stats;
+  for (int r = 0; r < num_replicas_; ++r) {
+    const ShardBounds b = ShardOf(num_params_, num_replicas_, r);
+    std::span<const float> w(weights_[r].data() + b.begin, b.size());
+    std::span<const float> g(grad_sum.data() + b.begin, b.size());
+    const std::vector<double> partial =
+        optimizer_->PartialStats(w, g, directions[r]);
+    if (global_stats.empty()) global_stats.assign(partial.size(), 0.0);
+    TPU_CHECK_EQ(partial.size(), global_stats.size());
+    for (std::size_t i = 0; i < partial.size(); ++i) {
+      global_stats[i] += partial[i];
+    }
+  }
+
+  // Phase 3: apply on the shard, then all-gather the updated shards into
+  // every replica's full weight copy.
+  for (int r = 0; r < num_replicas_; ++r) {
+    const ShardBounds b = ShardOf(num_params_, num_replicas_, r);
+    std::span<float> w(weights_[r].data() + b.begin, b.size());
+    optimizer_->Apply(w, directions[r], state_[r], global_stats);
+  }
+  for (int r = 0; r < num_replicas_; ++r) {
+    const ShardBounds b = ShardOf(num_params_, num_replicas_, r);
+    for (int other = 0; other < num_replicas_; ++other) {
+      if (other == r) continue;
+      std::copy(weights_[r].begin() + b.begin, weights_[r].begin() + b.end,
+                weights_[other].begin() + b.begin);
+    }
+  }
+  ++step_;
+}
+
+float DistributedTrainer::MaxReplicaDivergence() const {
+  float max_diff = 0.0f;
+  for (int r = 1; r < num_replicas_; ++r) {
+    for (std::int64_t i = 0; i < num_params_; ++i) {
+      max_diff =
+          std::max(max_diff, std::abs(weights_[r][i] - weights_[0][i]));
+    }
+  }
+  return max_diff;
+}
+
+SimTime WeightUpdateSeconds(const Optimizer& optimizer,
+                            std::int64_t params_updated, double core_flops,
+                            double hbm_bandwidth) {
+  const UpdateCost cost = optimizer.update_cost();
+  const double flops = cost.flops_per_element * params_updated;
+  const double bytes = static_cast<double>(cost.bytes_per_element) *
+                       static_cast<double>(params_updated);
+  // Optimizer updates are elementwise: vector-unit flops, HBM streaming.
+  return std::max(flops / core_flops, bytes / hbm_bandwidth);
+}
+
+}  // namespace tpu::optim

@@ -1,0 +1,142 @@
+// Discrete-event simulation core.
+//
+// Every timed behaviour in the multipod model — link transfers, compute
+// phases, host pipeline stages — is expressed as events on one global
+// simulated clock. Events at equal timestamps run in insertion order, which
+// together with the deterministic RNG makes every simulation bit-reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace tpu::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `cb` to run at now() + delay. delay must be >= 0.
+  void Schedule(SimTime delay, Callback cb) {
+    TPU_CHECK_GE(delay, 0.0);
+    ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Schedules `cb` at an absolute simulated time >= now().
+  void ScheduleAt(SimTime when, Callback cb) {
+    TPU_CHECK_GE(when, now_);
+    queue_.push(Event{when, next_seq_++, std::move(cb)});
+  }
+
+  // Runs until the event queue drains. Returns the final clock value.
+  SimTime Run() {
+    while (!queue_.empty()) Step();
+    return now_;
+  }
+
+  // Runs until the queue drains or the clock passes `deadline`.
+  SimTime RunUntil(SimTime deadline) {
+    while (!queue_.empty() && queue_.top().when <= deadline) Step();
+    if (now_ < deadline) now_ = deadline;
+    return now_;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: equal-time events run in schedule order
+    Callback cb;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void Step() {
+    // priority_queue::top() is const; the callback must be moved out before
+    // pop because running it may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    TPU_CHECK_GE(ev.when, now_);
+    now_ = ev.when;
+    ++events_processed_;
+    ev.cb();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+// A serially-reusable resource (e.g. a unidirectional link or a host CPU):
+// acquisitions are granted FIFO, each holding the resource for a caller-
+// specified service time. `Acquire` returns immediately; `on_done` fires at
+// the simulated time the service completes.
+class FifoResource {
+ public:
+  explicit FifoResource(Simulator* simulator) : simulator_(simulator) {
+    TPU_CHECK(simulator != nullptr);
+  }
+
+  // Occupies the resource for `service_time`, then invokes on_done.
+  void Acquire(SimTime service_time, Simulator::Callback on_done) {
+    const SimTime end = ReserveFrom(simulator_->now(), service_time) +
+                        service_time;
+    simulator_->ScheduleAt(end, std::move(on_done));
+  }
+
+  // Reserves the resource for `duration` starting no earlier than
+  // `earliest_start` and no earlier than the current end of the FIFO queue.
+  // Returns the actual start time. Does not schedule anything.
+  SimTime ReserveFrom(SimTime earliest_start, SimTime duration) {
+    TPU_CHECK_GE(duration, 0.0);
+    const SimTime start =
+        std::max({free_at_, earliest_start, simulator_->now()});
+    free_at_ = start + duration;
+    busy_time_ += duration;
+    return start;
+  }
+
+  // First simulated time at which the resource is idle.
+  SimTime free_at() const { return free_at_; }
+  // Total simulated time spent busy — used for link-utilization accounting.
+  SimTime busy_time() const { return busy_time_; }
+
+ private:
+  Simulator* simulator_;
+  SimTime free_at_ = 0.0;
+  SimTime busy_time_ = 0.0;
+};
+
+// Join-counter: invokes `on_all_done` once Notify() has been called
+// `expected` times. Used to express barriers between collective phases.
+class Barrier {
+ public:
+  Barrier(int expected, Simulator::Callback on_all_done)
+      : remaining_(expected), on_all_done_(std::move(on_all_done)) {
+    TPU_CHECK_GT(expected, 0);
+  }
+
+  void Notify() {
+    TPU_CHECK_GT(remaining_, 0);
+    if (--remaining_ == 0) on_all_done_();
+  }
+
+ private:
+  int remaining_;
+  Simulator::Callback on_all_done_;
+};
+
+}  // namespace tpu::sim

@@ -1,0 +1,661 @@
+#include "spmd/spmd.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace tpu::spmd {
+
+using hlo::HloInstruction;
+using hlo::HloModule;
+using hlo::InstrId;
+using hlo::Opcode;
+using tensor::Index;
+using tensor::Tensor;
+
+std::string Sharding::ToString() const {
+  if (!tiled()) return "replicated";
+  std::ostringstream os;
+  os << "tiled(dim=" << dim << ")";
+  return os.str();
+}
+
+std::string CommEvent::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kAllGather: os << "all-gather"; break;
+    case Kind::kAllReduce: os << "all-reduce"; break;
+    case Kind::kHaloExchange: os << "halo-exchange"; break;
+  }
+  os << "@%" << at << " elems=" << elems;
+  return os.str();
+}
+
+TileBounds TileBoundsOf(Index extent, int num_partitions, int p) {
+  const Index chunk = CeilDiv(extent, num_partitions);
+  TileBounds b;
+  b.begin = std::min(extent, p * chunk);
+  b.end = std::min(extent, (p + 1) * chunk);
+  return b;
+}
+
+namespace {
+
+hlo::Shape ShapeUnder(const hlo::Shape& shape, const Sharding& sharding,
+                      int num_partitions, int p) {
+  hlo::Shape local = shape;
+  if (sharding.tiled()) {
+    TPU_CHECK_LT(sharding.dim, static_cast<Index>(shape.size()));
+    local[sharding.dim] =
+        TileBoundsOf(shape[sharding.dim], num_partitions, p).size();
+  }
+  return local;
+}
+
+}  // namespace
+
+hlo::Shape PartitionedModule::LocalShape(InstrId id, int p) const {
+  return ShapeUnder(module_->instr(id).shape, instrs_[id].sharding,
+                    num_partitions_, p);
+}
+
+std::string PartitionedModule::ToString() const {
+  std::ostringstream os;
+  os << "PartitionedModule(" << num_partitions_ << " partitions) {\n";
+  for (const HloInstruction& instr : module_->instructions()) {
+    os << "  %" << instr.id << " " << hlo::OpcodeName(instr.opcode) << " : "
+       << instrs_[instr.id].sharding.ToString();
+    if (instrs_[instr.id].partial_allreduce) os << " + all-reduce";
+    if (instrs_[instr.id].halo_lo + instrs_[instr.id].halo_hi > 0) {
+      os << " + halo(" << instrs_[instr.id].halo_lo << ","
+         << instrs_[instr.id].halo_hi << ")";
+    }
+    os << "\n";
+  }
+  for (const CommEvent& event : comm_events_) {
+    os << "  comm: " << event.ToString() << "\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+PartitionedModule Partition(const HloModule& module,
+                            const std::vector<Sharding>& param_shardings,
+                            int num_partitions) {
+  TPU_CHECK_GT(num_partitions, 0);
+  TPU_CHECK_EQ(static_cast<int>(param_shardings.size()),
+               module.num_parameters());
+  PartitionedModule pm(&module, num_partitions);
+  pm.instrs_.resize(module.instructions().size());
+
+  int param_index = 0;
+  for (const HloInstruction& instr : module.instructions()) {
+    PartitionedInstr& out = pm.instrs_[instr.id];
+    auto def = [&](int i) -> const Sharding& {
+      return pm.instrs_[instr.operands[i]].sharding;
+    };
+    // Consume operand i at sharding `desired`; records an all-gather when the
+    // producer's sharding must be undone (replicated -> tiled is a free local
+    // slice and costs nothing).
+    auto use = [&](int i, const Sharding& desired) {
+      const InstrId o = instr.operands[i];
+      const Sharding& have = pm.instrs_[o].sharding;
+      if (have != desired && have.tiled()) {
+        pm.comm_events_.push_back(
+            {CommEvent::Kind::kAllGather, instr.id,
+             hlo::NumElements(module.instr(o).shape)});
+      }
+      out.operand_use.push_back(desired);
+    };
+    auto emit_allreduce = [&] {
+      out.partial_allreduce = true;
+      pm.comm_events_.push_back({CommEvent::Kind::kAllReduce, instr.id,
+                                 hlo::NumElements(instr.shape)});
+    };
+
+    switch (instr.opcode) {
+      case Opcode::kParameter: {
+        out.sharding = param_shardings[param_index++];
+        if (out.sharding.tiled()) {
+          TPU_CHECK_LT(out.sharding.dim,
+                       static_cast<Index>(instr.shape.size()))
+              << "tiled dim out of range for parameter " << instr.name;
+        }
+        break;
+      }
+      case Opcode::kConstant:
+        out.sharding = Sharding::Replicated();
+        break;
+      case Opcode::kRelu:
+      case Opcode::kTanh:
+      case Opcode::kExp:
+      case Opcode::kScale: {
+        out.sharding = def(0);
+        use(0, out.sharding);
+        break;
+      }
+      case Opcode::kSoftmax: {
+        Sharding s = def(0);
+        // Softmax normalizes over the last axis; it cannot stay split there.
+        if (s.tiled() && s.dim == static_cast<Index>(instr.shape.size()) - 1) {
+          s = Sharding::Replicated();
+        }
+        use(0, s);
+        out.sharding = s;
+        break;
+      }
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul: {
+        Sharding s = def(0);
+        if (!s.tiled() && def(1).tiled()) s = def(1);
+        use(0, s);
+        use(1, s);
+        out.sharding = s;
+        break;
+      }
+      case Opcode::kDot: {
+        const Sharding& a = def(0);
+        const Sharding& b = def(1);
+        if (b == Sharding::Tiled(1)) {
+          // Output-feature sharded weights: y[:, tile] = x . w[:, tile].
+          use(0, Sharding::Replicated());
+          use(1, b);
+          out.sharding = Sharding::Tiled(1);
+        } else if (b == Sharding::Tiled(0)) {
+          // Contracting-dim sharded: partial sums need an all-reduce.
+          use(0, Sharding::Tiled(1));
+          use(1, b);
+          out.sharding = Sharding::Replicated();
+          emit_allreduce();
+        } else if (a == Sharding::Tiled(0)) {
+          // Batch/row sharded activations.
+          use(0, a);
+          use(1, Sharding::Replicated());
+          out.sharding = Sharding::Tiled(0);
+        } else {
+          use(0, Sharding::Replicated());
+          use(1, Sharding::Replicated());
+          out.sharding = Sharding::Replicated();
+        }
+        break;
+      }
+      case Opcode::kOneHotGather: {
+        if (def(0) == Sharding::Tiled(0)) {
+          // Row-sharded gather: each partition gathers its own rows.
+          use(0, def(0));
+          use(1, Sharding::Replicated());
+          out.sharding = Sharding::Tiled(0);
+        } else {
+          use(0, Sharding::Replicated());
+          use(1, Sharding::Replicated());
+          out.sharding = Sharding::Replicated();
+        }
+        break;
+      }
+      case Opcode::kConv2D: {
+        const Sharding& si = def(0);
+        if (si.tiled() && (si.dim == 1 || si.dim == 2)) {
+          // Spatial partitioning with halo exchange.
+          const Index d = si.dim;
+          const hlo::Shape& in_shape = module.instr(instr.operands[0]).shape;
+          const Index in_extent = in_shape[d];
+          const Index out_extent = instr.shape[d];
+          const Index kernel_extent =
+              module.instr(instr.operands[1]).shape[d - 1];
+          const Index stride =
+              d == 1 ? instr.conv.stride_h : instr.conv.stride_w;
+          const Index pad_lo =
+              d == 1 ? instr.conv.pad_top : instr.conv.pad_left;
+          Index halo_lo = 0, halo_hi = 0, fetched_elems = 0;
+          Index slice_elems = 1;
+          for (std::size_t i = 0; i < in_shape.size(); ++i) {
+            if (static_cast<Index>(i) != d) slice_elems *= in_shape[i];
+          }
+          for (int p = 0; p < num_partitions; ++p) {
+            const TileBounds ob = TileBoundsOf(out_extent, num_partitions, p);
+            if (ob.size() == 0) continue;
+            const TileBounds ib = TileBoundsOf(in_extent, num_partitions, p);
+            const Index need_begin =
+                std::max<Index>(0, ob.begin * stride - pad_lo);
+            const Index need_end = std::min(
+                in_extent, (ob.end - 1) * stride - pad_lo + kernel_extent);
+            const Index lo = std::max<Index>(0, ib.begin - need_begin);
+            const Index hi = std::max<Index>(0, need_end - ib.end);
+            halo_lo = std::max(halo_lo, lo);
+            halo_hi = std::max(halo_hi, hi);
+            fetched_elems = std::max(fetched_elems, (lo + hi) * slice_elems);
+          }
+          out.halo_lo = halo_lo;
+          out.halo_hi = halo_hi;
+          if (fetched_elems > 0) {
+            pm.comm_events_.push_back({CommEvent::Kind::kHaloExchange,
+                                       instr.id, fetched_elems});
+          }
+          use(0, si);
+          use(1, Sharding::Replicated());
+          out.sharding = Sharding::Tiled(d);
+        } else if (si == Sharding::Tiled(0)) {
+          use(0, si);
+          use(1, Sharding::Replicated());
+          out.sharding = Sharding::Tiled(0);
+        } else {
+          use(0, Sharding::Replicated());
+          use(1, Sharding::Replicated());
+          out.sharding = Sharding::Replicated();
+        }
+        break;
+      }
+      case Opcode::kReduceSum: {
+        const Sharding s = def(0);
+        if (s.tiled() && s.dim == instr.axis) {
+          use(0, s);
+          out.sharding = Sharding::Replicated();
+          emit_allreduce();
+        } else if (s.tiled()) {
+          use(0, s);
+          out.sharding =
+              Sharding::Tiled(s.dim > instr.axis ? s.dim - 1 : s.dim);
+        } else {
+          use(0, s);
+          out.sharding = Sharding::Replicated();
+        }
+        break;
+      }
+      case Opcode::kReshape: {
+        // Conservative: reshapes consume replicated input.
+        use(0, Sharding::Replicated());
+        out.sharding = Sharding::Replicated();
+        break;
+      }
+      case Opcode::kTranspose: {
+        const Sharding s = def(0);
+        use(0, s);
+        out.sharding = s.tiled() ? Sharding::Tiled(1 - s.dim) : s;
+        break;
+      }
+      case Opcode::kTopK: {
+        Sharding s = def(0);
+        if (s.tiled() && s.dim == static_cast<Index>(instr.shape.size()) - 1) {
+          s = Sharding::Replicated();  // top-k needs the full last axis
+        }
+        use(0, s);
+        out.sharding = s;
+        break;
+      }
+      case Opcode::kBatchMatMul: {
+        // Head-sharded attention: both operands tiled on the batch (head)
+        // dim compute locally. Anything else is resharded to whichever
+        // operand is head-tiled, or replicated.
+        const bool head_tiled =
+            def(0) == Sharding::Tiled(0) || def(1) == Sharding::Tiled(0);
+        const Sharding s =
+            head_tiled ? Sharding::Tiled(0) : Sharding::Replicated();
+        use(0, s);
+        use(1, s);
+        out.sharding = s;
+        break;
+      }
+      case Opcode::kSplitHeads: {
+        // [t, h*d] tiled on the feature dim becomes [h, t, d] tiled on the
+        // head dim — the sharding-preserving layout change real partitioners
+        // implement as a local bitcast. Requires the head count to split
+        // evenly over the partitions.
+        if (def(0) == Sharding::Tiled(1) &&
+            instr.k % num_partitions == 0) {
+          use(0, def(0));
+          out.sharding = Sharding::Tiled(0);
+        } else {
+          use(0, Sharding::Replicated());
+          out.sharding = Sharding::Replicated();
+        }
+        break;
+      }
+      case Opcode::kMergeHeads: {
+        if (def(0) == Sharding::Tiled(0)) {
+          use(0, def(0));
+          out.sharding = Sharding::Tiled(1);
+        } else {
+          use(0, Sharding::Replicated());
+          out.sharding = Sharding::Replicated();
+        }
+        break;
+      }
+    }
+  }
+  return pm;
+}
+
+namespace {
+
+// Reassembles the full logical value of instruction `id` from per-partition
+// local values.
+Tensor FullValue(const PartitionedModule& pm,
+                 const std::vector<std::vector<Tensor>>& values, InstrId id) {
+  const PartitionedInstr& pi = pm.at(id);
+  if (!pi.sharding.tiled()) return values[id][0];
+  std::vector<Tensor> parts;
+  for (int p = 0; p < pm.num_partitions(); ++p) {
+    if (values[id][p].num_elements() > 0) parts.push_back(values[id][p]);
+  }
+  return tensor::Concat(parts, pi.sharding.dim);
+}
+
+// Extracts the global slab [range.begin, range.end) along `dim` of
+// instruction `id` for partition `p`, fetching out-of-tile pieces from the
+// other partitions' local values (and zero-filling beyond the tensor edge).
+// Adds fetched cross-partition bytes to *halo_bytes.
+Tensor FetchSlab(const PartitionedModule& pm,
+                 const std::vector<std::vector<Tensor>>& values, InstrId id,
+                 int p, Index dim, Index begin, Index end, Bytes* halo_bytes) {
+  const hlo::Shape& full_shape = pm.module().instr(id).shape;
+  const Index extent = full_shape[dim];
+  std::vector<Tensor> pieces;
+  auto zeros_slab = [&](Index rows) {
+    hlo::Shape s = full_shape;
+    s[dim] = rows;
+    return Tensor::Zeros(s);
+  };
+  if (begin < 0) pieces.push_back(zeros_slab(-begin));
+  const Index clamped_begin = std::max<Index>(0, begin);
+  const Index clamped_end = std::min(extent, end);
+  for (int q = 0; q < pm.num_partitions(); ++q) {
+    const TileBounds tb = TileBoundsOf(extent, pm.num_partitions(), q);
+    const Index lo = std::max(clamped_begin, tb.begin);
+    const Index hi = std::min(clamped_end, tb.end);
+    if (lo >= hi) continue;
+    const Tensor& local = values[id][q];
+    std::vector<Index> starts(full_shape.size(), 0);
+    std::vector<Index> sizes = local.shape();
+    starts[dim] = lo - tb.begin;
+    sizes[dim] = hi - lo;
+    Tensor piece = tensor::Slice(local, starts, sizes);
+    if (q != p) *halo_bytes += piece.num_elements() * 4;
+    pieces.push_back(std::move(piece));
+  }
+  if (end > extent) pieces.push_back(zeros_slab(end - extent));
+  return tensor::Concat(pieces, dim);
+}
+
+}  // namespace
+
+SpmdExecution ExecutePartitioned(const PartitionedModule& pm,
+                                 const std::vector<Tensor>& params) {
+  const HloModule& module = pm.module();
+  const int n = pm.num_partitions();
+  TPU_CHECK_EQ(static_cast<int>(params.size()), module.num_parameters());
+  SpmdExecution exec;
+  std::vector<std::vector<Tensor>> values(module.instructions().size(),
+                                          std::vector<Tensor>(n));
+
+  int param_index = 0;
+  for (const HloInstruction& instr : module.instructions()) {
+    const PartitionedInstr& pi = pm.at(instr.id);
+    // Materializes operand `i` on partition p at the sharding it is consumed
+    // with, reassembling across partitions when resharding is needed.
+    auto operand_at = [&](int i, int p) -> Tensor {
+      const InstrId o = instr.operands[i];
+      const Sharding& have = pm.at(o).sharding;
+      const Sharding& want = pi.operand_use[i];
+      if (have == want) return values[o][p];
+      Tensor full = FullValue(pm, values, o);
+      if (have.tiled()) {
+        // Cross-partition reassembly: ring all-gather wire bytes.
+        exec.allgather_bytes +=
+            static_cast<Bytes>(full.num_elements()) * 4 * (n - 1);
+      }
+      if (!want.tiled()) return full;
+      const TileBounds tb =
+          TileBoundsOf(full.dim(want.dim), n, p);
+      std::vector<Index> starts(full.rank(), 0);
+      std::vector<Index> sizes = full.shape();
+      starts[want.dim] = tb.begin;
+      sizes[want.dim] = tb.size();
+      return tensor::Slice(full, starts, sizes);
+    };
+
+    switch (instr.opcode) {
+      case Opcode::kParameter: {
+        const Tensor& full = params[param_index++];
+        TPU_CHECK(full.shape() == instr.shape)
+            << "parameter " << instr.name << " shape mismatch";
+        for (int p = 0; p < n; ++p) {
+          if (!pi.sharding.tiled()) {
+            values[instr.id][p] = full;
+            continue;
+          }
+          const TileBounds tb = TileBoundsOf(full.dim(pi.sharding.dim), n, p);
+          std::vector<Index> starts(full.rank(), 0);
+          std::vector<Index> sizes = full.shape();
+          starts[pi.sharding.dim] = tb.begin;
+          sizes[pi.sharding.dim] = tb.size();
+          values[instr.id][p] = tensor::Slice(full, starts, sizes);
+        }
+        break;
+      }
+      case Opcode::kConstant: {
+        for (int p = 0; p < n; ++p) {
+          values[instr.id][p] = module.constant_value(instr.id);
+        }
+        break;
+      }
+      case Opcode::kConv2D: {
+        const Index d = pi.sharding.tiled() ? pi.sharding.dim : -1;
+        for (int p = 0; p < n; ++p) {
+          Tensor kernel = operand_at(1, p);
+          if (d != 1 && d != 2) {
+            values[instr.id][p] =
+                tensor::Conv2D(operand_at(0, p), kernel, instr.conv);
+            continue;
+          }
+          // Spatially partitioned: assemble the input slab (tile + halos),
+          // then convolve with padding already materialized along d.
+          const TileBounds ob = TileBoundsOf(instr.shape[d], n, p);
+          if (ob.size() == 0) {
+            hlo::Shape s = pm.LocalShape(instr.id, p);
+            values[instr.id][p] = Tensor::Zeros(s);
+            continue;
+          }
+          const Index stride =
+              d == 1 ? instr.conv.stride_h : instr.conv.stride_w;
+          const Index pad_lo =
+              d == 1 ? instr.conv.pad_top : instr.conv.pad_left;
+          const Index kernel_extent =
+              module.instr(instr.operands[1]).shape[d - 1];
+          const Index need_begin = ob.begin * stride - pad_lo;
+          const Index need_end = (ob.end - 1) * stride - pad_lo + kernel_extent;
+          Tensor slab = FetchSlab(pm, values, instr.operands[0], p, d,
+                                  need_begin, need_end, &exec.halo_bytes);
+          tensor::Conv2DConfig conv = instr.conv;
+          if (d == 1) {
+            conv.pad_top = conv.pad_bottom = 0;
+          } else {
+            conv.pad_left = conv.pad_right = 0;
+          }
+          values[instr.id][p] = tensor::Conv2D(slab, kernel, conv);
+          TPU_CHECK_EQ(values[instr.id][p].dim(d), ob.size());
+        }
+        break;
+      }
+      default: {
+        for (int p = 0; p < n; ++p) {
+          auto op0 = [&] { return operand_at(0, p); };
+          auto op1 = [&] { return operand_at(1, p); };
+          Tensor& out = values[instr.id][p];
+          switch (instr.opcode) {
+            case Opcode::kAdd: out = tensor::Add(op0(), op1()); break;
+            case Opcode::kSub: out = tensor::Sub(op0(), op1()); break;
+            case Opcode::kMul: out = tensor::Mul(op0(), op1()); break;
+            case Opcode::kRelu: out = tensor::Relu(op0()); break;
+            case Opcode::kTanh: out = tensor::Tanh(op0()); break;
+            case Opcode::kExp: out = tensor::Exp(op0()); break;
+            case Opcode::kScale: out = tensor::Scale(op0(), instr.scale); break;
+            case Opcode::kSoftmax: out = tensor::Softmax(op0()); break;
+            case Opcode::kDot:
+            case Opcode::kOneHotGather:
+              out = tensor::MatMul(op0(), op1());
+              break;
+            case Opcode::kReduceSum: {
+              // When the reduced axis is the tiled one, this is the local
+              // partial; the all-reduce below completes it.
+              out = tensor::ReduceSum(op0(), instr.axis);
+              break;
+            }
+            case Opcode::kReshape:
+              out = tensor::Reshape(op0(), instr.shape);
+              break;
+            case Opcode::kBatchMatMul:
+              out = tensor::BatchMatMul(op0(), op1(), instr.transpose_rhs);
+              break;
+            case Opcode::kSplitHeads: {
+              // Local head count = this partition's share of the head dim.
+              const Tensor in = op0();
+              const Index local_heads =
+                  pm.LocalShape(instr.id, p)[0];
+              out = tensor::SplitHeads(in, local_heads);
+              break;
+            }
+            case Opcode::kMergeHeads:
+              out = tensor::MergeHeads(op0());
+              break;
+            case Opcode::kTranspose:
+              out = tensor::Transpose2D(op0());
+              break;
+            case Opcode::kTopK: {
+              const Tensor in = op0();
+              hlo::Shape out_shape = in.shape();
+              out_shape.back() = instr.k;
+              Tensor result(out_shape);
+              const Index last = in.shape().back();
+              const Index rows = in.num_elements() / std::max<Index>(1, last);
+              std::vector<float> row(last);
+              for (Index r = 0; r < rows; ++r) {
+                for (Index j = 0; j < last; ++j) row[j] = in.flat(r * last + j);
+                std::partial_sort(row.begin(), row.begin() + instr.k,
+                                  row.end(), std::greater<float>());
+                for (Index j = 0; j < instr.k; ++j) {
+                  result.flat(r * instr.k + j) = row[j];
+                }
+              }
+              out = std::move(result);
+              break;
+            }
+            default:
+              TPU_CHECK(false) << "unhandled opcode "
+                               << hlo::OpcodeName(instr.opcode);
+          }
+        }
+        break;
+      }
+    }
+
+    if (pi.partial_allreduce) {
+      // Sum the per-partition partials and give every partition the result.
+      Tensor sum = values[instr.id][0];
+      for (int p = 1; p < n; ++p) {
+        sum = tensor::Add(sum, values[instr.id][p]);
+      }
+      exec.allreduce_bytes += static_cast<Bytes>(sum.num_elements()) * 4 * 2 *
+                              std::max(0, n - 1);
+      for (int p = 0; p < n; ++p) values[instr.id][p] = sum;
+    }
+  }
+
+  exec.local_root = values[module.root()];
+  exec.full_root = FullValue(pm, values, module.root());
+  return exec;
+}
+
+PartitionedCost CostOfPartitioned(const PartitionedModule& pm,
+                                  const hlo::TpuCoreModel& core) {
+  const HloModule& module = pm.module();
+  PartitionedCost result;
+  for (int p = 0; p < pm.num_partitions(); ++p) {
+    hlo::OpCost compute;
+    SimTime seconds = 0;
+    for (const HloInstruction& instr : module.instructions()) {
+      const PartitionedInstr& pi = pm.at(instr.id);
+      auto local_operand = [&](int i) {
+        return ShapeUnder(module.instr(instr.operands[i]).shape,
+                          pi.operand_use[i], pm.num_partitions(), p);
+      };
+      const hlo::Shape local_out = pm.LocalShape(instr.id, p);
+      hlo::OpCost cost;
+      switch (instr.opcode) {
+        case Opcode::kParameter:
+        case Opcode::kConstant:
+        case Opcode::kReshape:
+          continue;
+        case Opcode::kAdd:
+        case Opcode::kSub:
+        case Opcode::kMul:
+          cost = hlo::ElementwiseCost(hlo::NumElements(local_out), 2, false);
+          break;
+        case Opcode::kRelu:
+        case Opcode::kScale:
+          cost = hlo::ElementwiseCost(hlo::NumElements(local_out), 1, false);
+          break;
+        case Opcode::kTanh:
+        case Opcode::kExp:
+          cost = hlo::ElementwiseCost(hlo::NumElements(local_out), 1, true);
+          break;
+        case Opcode::kSoftmax:
+          cost = hlo::SoftmaxCost(hlo::NumElements(local_out));
+          break;
+        case Opcode::kReduceSum:
+          cost = hlo::ReduceCost(hlo::NumElements(local_operand(0)),
+                                 hlo::NumElements(local_out));
+          break;
+        case Opcode::kTranspose:
+          cost = hlo::TransposeCost(hlo::NumElements(local_out));
+          break;
+        case Opcode::kDot:
+        case Opcode::kOneHotGather: {
+          const hlo::Shape a = local_operand(0);
+          const hlo::Shape b = local_operand(1);
+          cost = hlo::DotCost(a[0], a[1], b[1]);
+          break;
+        }
+        case Opcode::kConv2D: {
+          hlo::Shape in = local_operand(0);
+          // Halo rows enlarge the local input actually convolved.
+          if (pi.sharding.tiled() &&
+              (pi.sharding.dim == 1 || pi.sharding.dim == 2)) {
+            in[pi.sharding.dim] += pi.halo_lo + pi.halo_hi;
+          }
+          const hlo::Shape k = module.instr(instr.operands[1]).shape;
+          cost = hlo::Conv2DCost(local_out[0], local_out[1], local_out[2],
+                                 local_out[3], k[0], k[1], k[2],
+                                 hlo::NumElements(in));
+          break;
+        }
+        case Opcode::kTopK:
+          cost = hlo::TopKCost(hlo::NumElements(local_operand(0)),
+                               hlo::NumElements(local_out), instr.k);
+          break;
+        case Opcode::kBatchMatMul: {
+          const hlo::Shape a = local_operand(0);
+          cost = hlo::DotCost(a[1], a[2], local_out[2]);
+          cost.flops *= a[0];
+          break;
+        }
+        case Opcode::kSplitHeads:
+        case Opcode::kMergeHeads:
+          cost = hlo::TransposeCost(hlo::NumElements(local_out));
+          break;
+      }
+      compute += cost;
+      seconds += core.SecondsFor(cost);
+    }
+    if (seconds > result.compute_seconds) {
+      result.compute_seconds = seconds;
+      result.compute = compute;
+    }
+  }
+  result.comm = pm.comm_events();
+  return result;
+}
+
+}  // namespace tpu::spmd

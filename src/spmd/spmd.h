@@ -1,0 +1,130 @@
+// SPMD partitioner over the mini-HLO IR.
+//
+// Stands in for XLA's SPMD partitioner (Lepikhin et al. 2020), which the
+// paper uses for all model parallelism (Section 3.1): lightweight sharding
+// annotations on inputs are propagated through the graph, operators are
+// rewritten to compute on local tiles, and communication is inserted where
+// the math requires it —
+//   * halo exchanges for spatially partitioned convolutions,
+//   * all-reduces for partial sums when a contracting dimension is sharded
+//     (feature-sharded dense layers, Section 3.1's Transformer scheme),
+//   * all-gathers when an operand must be resharded.
+//
+// Two consumers: a *functional executor* that runs the partitioned program
+// per-partition with explicit cross-partition data movement (so partitioned
+// == unpartitioned can be asserted numerically), and a *cost extractor* that
+// reports per-partition compute plus the inserted communication events for
+// the simulated step-time model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hlo/cost_model.h"
+#include "hlo/hlo.h"
+
+namespace tpu::spmd {
+
+struct Sharding {
+  enum class Kind { kReplicated, kTiled };
+  Kind kind = Kind::kReplicated;
+  tensor::Index dim = -1;  // the tiled dimension (valid iff kind == kTiled)
+
+  static Sharding Replicated() { return {}; }
+  static Sharding Tiled(tensor::Index dim) {
+    Sharding s;
+    s.kind = Kind::kTiled;
+    s.dim = dim;
+    return s;
+  }
+  bool tiled() const { return kind == Kind::kTiled; }
+  friend bool operator==(const Sharding&, const Sharding&) = default;
+  std::string ToString() const;
+};
+
+// Tile bounds of one dimension extent for partition p (ceil split; trailing
+// partitions may be short or empty).
+struct TileBounds {
+  tensor::Index begin = 0;
+  tensor::Index end = 0;
+  tensor::Index size() const { return end - begin; }
+};
+TileBounds TileBoundsOf(tensor::Index extent, int num_partitions, int p);
+
+// Communication the partitioner inserted.
+struct CommEvent {
+  enum class Kind { kAllGather, kAllReduce, kHaloExchange };
+  Kind kind = Kind::kAllReduce;
+  hlo::InstrId at = -1;     // instruction that triggered the event
+  tensor::Index elems = 0;  // logical payload elements (full tensor for
+                            // all-gather/all-reduce; fetched halo rows for
+                            // halo exchange, per partition)
+  std::string ToString() const;
+};
+
+struct PartitionedInstr {
+  Sharding sharding;                   // output sharding
+  std::vector<Sharding> operand_use;   // sharding each operand is consumed at
+  bool partial_allreduce = false;      // output is a partial sum: all-reduce
+  // Spatially partitioned conv: input rows fetched beyond the local tile.
+  tensor::Index halo_lo = 0;
+  tensor::Index halo_hi = 0;
+};
+
+class PartitionedModule {
+ public:
+  PartitionedModule(const hlo::HloModule* module, int num_partitions)
+      : module_(module), num_partitions_(num_partitions) {}
+
+  const hlo::HloModule& module() const { return *module_; }
+  int num_partitions() const { return num_partitions_; }
+  const PartitionedInstr& at(hlo::InstrId id) const { return instrs_[id]; }
+  const std::vector<CommEvent>& comm_events() const { return comm_events_; }
+
+  // Local shape of instruction `id`'s output on partition p.
+  hlo::Shape LocalShape(hlo::InstrId id, int p) const;
+
+  std::string ToString() const;
+
+ private:
+  friend PartitionedModule Partition(const hlo::HloModule&,
+                                     const std::vector<Sharding>&, int);
+  const hlo::HloModule* module_;
+  int num_partitions_;
+  std::vector<PartitionedInstr> instrs_;
+  std::vector<CommEvent> comm_events_;
+};
+
+// Partitions `module` across `num_partitions` devices. `param_shardings`
+// gives the annotation for each parameter in declaration order (this is the
+// "lightweight annotation" interface of Section 3.1: e.g. tile the image
+// parameter's H dimension for spatial partitioning, or tile weight matrices
+// on the feature dimension for the Transformer scheme).
+PartitionedModule Partition(const hlo::HloModule& module,
+                            const std::vector<Sharding>& param_shardings,
+                            int num_partitions);
+
+// Functional cross-partition execution.
+struct SpmdExecution {
+  tensor::Tensor full_root;                 // reassembled logical root value
+  std::vector<tensor::Tensor> local_root;   // per-partition local values
+  // Cross-partition traffic actually moved (float32 accounting).
+  Bytes halo_bytes = 0;
+  Bytes allgather_bytes = 0;
+  Bytes allreduce_bytes = 0;
+};
+SpmdExecution ExecutePartitioned(const PartitionedModule& pm,
+                                 const std::vector<tensor::Tensor>& params);
+
+// Timing-side summary: per-partition compute (max over partitions) plus the
+// comm event list for the network layer.
+struct PartitionedCost {
+  hlo::OpCost compute;       // worst-partition local compute
+  SimTime compute_seconds = 0;
+  std::vector<CommEvent> comm;
+};
+PartitionedCost CostOfPartitioned(const PartitionedModule& pm,
+                                  const hlo::TpuCoreModel& core);
+
+}  // namespace tpu::spmd

@@ -1,0 +1,435 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace tpu::tensor {
+namespace {
+
+Index NumElements(const std::vector<Index>& shape) {
+  Index n = 1;
+  for (Index d : shape) {
+    TPU_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<Index> shape) : shape_(std::move(shape)) {
+  data_.assign(NumElements(shape_), 0.0f);
+  ComputeStrides();
+}
+
+Tensor::Tensor(std::vector<Index> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  TPU_CHECK_EQ(NumElements(shape_), static_cast<Index>(data_.size()));
+  ComputeStrides();
+}
+
+Tensor Tensor::Full(std::vector<Index> shape, float value) {
+  Tensor t(std::move(shape));
+  std::fill(t.data_.begin(), t.data_.end(), value);
+  return t;
+}
+
+Tensor Tensor::Random(std::vector<Index> shape, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  Rng rng(seed);
+  for (float& v : t.data_) v = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+  return t;
+}
+
+void Tensor::ComputeStrides() {
+  strides_.assign(shape_.size(), 1);
+  for (int i = static_cast<int>(shape_.size()) - 2; i >= 0; --i) {
+    strides_[i] = strides_[i + 1] * shape_[i + 1];
+  }
+}
+
+Index Tensor::dim(Index i) const {
+  TPU_CHECK_GE(i, 0);
+  TPU_CHECK_LT(i, rank());
+  return shape_[i];
+}
+
+Index Tensor::OffsetOf(const std::vector<Index>& indices) const {
+  TPU_CHECK_EQ(static_cast<Index>(indices.size()), rank());
+  Index offset = 0;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    TPU_CHECK_GE(indices[i], 0);
+    TPU_CHECK_LT(indices[i], shape_[i]);
+    offset += indices[i] * strides_[i];
+  }
+  return offset;
+}
+
+float& Tensor::at(std::initializer_list<Index> indices) {
+  return data_[OffsetOf(std::vector<Index>(indices))];
+}
+
+float Tensor::at(std::initializer_list<Index> indices) const {
+  return data_[OffsetOf(std::vector<Index>(indices))];
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+float Tensor::MaxAbsDiff(const Tensor& other) const {
+  TPU_CHECK(SameShape(other)) << ShapeString() << " vs " << other.ShapeString();
+  float max_diff = 0.0f;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+Tensor Unary(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out(a.shape());
+  for (Index i = 0; i < a.num_elements(); ++i) out.flat(i) = f(a.flat(i));
+  return out;
+}
+
+Tensor Binary(const Tensor& a, const Tensor& b,
+              const std::function<float(float, float)>& f) {
+  TPU_CHECK(a.SameShape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  Tensor out(a.shape());
+  for (Index i = 0; i < a.num_elements(); ++i) {
+    out.flat(i) = f(a.flat(i), b.flat(i));
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Scale(const Tensor& a, float s) {
+  return Unary(a, [s](float x) { return x * s; });
+}
+Tensor Relu(const Tensor& a) {
+  return Unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor Tanh(const Tensor& a) {
+  return Unary(a, [](float x) { return std::tanh(x); });
+}
+Tensor Exp(const Tensor& a) {
+  return Unary(a, [](float x) { return std::exp(x); });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TPU_CHECK_EQ(a.rank(), 2);
+  TPU_CHECK_EQ(b.rank(), 2);
+  TPU_CHECK_EQ(a.dim(1), b.dim(0));
+  const Index m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  for (Index i = 0; i < m; ++i) {
+    for (Index p = 0; p < k; ++p) {
+      const float av = a.flat(i * k + p);
+      if (av == 0.0f) continue;
+      for (Index j = 0; j < n; ++j) {
+        out.flat(i * n + j) += av * b.flat(p * n + j);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool transpose_rhs) {
+  TPU_CHECK_EQ(a.rank(), 3);
+  TPU_CHECK_EQ(b.rank(), 3);
+  TPU_CHECK_EQ(a.dim(0), b.dim(0));
+  const Index batch = a.dim(0), m = a.dim(1), k = a.dim(2);
+  const Index n = transpose_rhs ? b.dim(1) : b.dim(2);
+  TPU_CHECK_EQ(transpose_rhs ? b.dim(2) : b.dim(1), k);
+  Tensor out({batch, m, n});
+  for (Index bi = 0; bi < batch; ++bi) {
+    for (Index i = 0; i < m; ++i) {
+      for (Index j = 0; j < n; ++j) {
+        double acc = 0;
+        for (Index p = 0; p < k; ++p) {
+          const float bv = transpose_rhs ? b.flat((bi * n + j) * k + p)
+                                         : b.flat((bi * k + p) * n + j);
+          acc += static_cast<double>(a.flat((bi * m + i) * k + p)) * bv;
+        }
+        out.flat((bi * m + i) * n + j) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor SplitHeads(const Tensor& x, Index heads) {
+  TPU_CHECK_EQ(x.rank(), 2);
+  TPU_CHECK_EQ(x.dim(1) % heads, 0);
+  const Index t = x.dim(0), d = x.dim(1) / heads;
+  Tensor out({heads, t, d});
+  for (Index h = 0; h < heads; ++h) {
+    for (Index i = 0; i < t; ++i) {
+      for (Index c = 0; c < d; ++c) {
+        out.flat((h * t + i) * d + c) = x.flat(i * (heads * d) + h * d + c);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MergeHeads(const Tensor& x) {
+  TPU_CHECK_EQ(x.rank(), 3);
+  const Index heads = x.dim(0), t = x.dim(1), d = x.dim(2);
+  Tensor out({t, heads * d});
+  for (Index h = 0; h < heads; ++h) {
+    for (Index i = 0; i < t; ++i) {
+      for (Index c = 0; c < d; ++c) {
+        out.flat(i * (heads * d) + h * d + c) = x.flat((h * t + i) * d + c);
+      }
+    }
+  }
+  return out;
+}
+
+Index ConvOutputSize(Index input, Index kernel, Index stride, Index pad_lo,
+                     Index pad_hi) {
+  const Index padded = input + pad_lo + pad_hi;
+  TPU_CHECK_GE(padded, kernel);
+  return (padded - kernel) / stride + 1;
+}
+
+Tensor Conv2D(const Tensor& input, const Tensor& kernel,
+              const Conv2DConfig& config) {
+  TPU_CHECK_EQ(input.rank(), 4);   // NHWC
+  TPU_CHECK_EQ(kernel.rank(), 4);  // HWIO
+  TPU_CHECK_EQ(input.dim(3), kernel.dim(2));
+  const Index n = input.dim(0), h = input.dim(1), w = input.dim(2),
+              ci = input.dim(3);
+  const Index kh = kernel.dim(0), kw = kernel.dim(1), co = kernel.dim(3);
+  const Index ho = ConvOutputSize(h, kh, config.stride_h, config.pad_top,
+                                  config.pad_bottom);
+  const Index wo = ConvOutputSize(w, kw, config.stride_w, config.pad_left,
+                                  config.pad_right);
+  Tensor out({n, ho, wo, co});
+  for (Index b = 0; b < n; ++b) {
+    for (Index oy = 0; oy < ho; ++oy) {
+      for (Index ox = 0; ox < wo; ++ox) {
+        for (Index ky = 0; ky < kh; ++ky) {
+          const Index iy = oy * config.stride_h + ky - config.pad_top;
+          if (iy < 0 || iy >= h) continue;
+          for (Index kx = 0; kx < kw; ++kx) {
+            const Index ix = ox * config.stride_w + kx - config.pad_left;
+            if (ix < 0 || ix >= w) continue;
+            for (Index c = 0; c < ci; ++c) {
+              const float iv = input.flat(((b * h + iy) * w + ix) * ci + c);
+              if (iv == 0.0f) continue;
+              for (Index o = 0; o < co; ++o) {
+                out.flat(((b * ho + oy) * wo + ox) * co + o) +=
+                    iv * kernel.flat(((ky * kw + kx) * ci + c) * co + o);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Conv2DGrads Conv2DBackward(const Tensor& input, const Tensor& kernel,
+                           const Tensor& dout, const Conv2DConfig& config) {
+  TPU_CHECK_EQ(input.rank(), 4);
+  TPU_CHECK_EQ(kernel.rank(), 4);
+  TPU_CHECK_EQ(dout.rank(), 4);
+  const Index n = input.dim(0), h = input.dim(1), w = input.dim(2),
+              ci = input.dim(3);
+  const Index kh = kernel.dim(0), kw = kernel.dim(1), co = kernel.dim(3);
+  const Index ho = dout.dim(1), wo = dout.dim(2);
+  TPU_CHECK_EQ(dout.dim(0), n);
+  TPU_CHECK_EQ(dout.dim(3), co);
+  Conv2DGrads grads{Tensor::Zeros(input.shape()), Tensor::Zeros(kernel.shape())};
+  // Mirror the forward loop, scattering the chain-rule contributions.
+  for (Index b = 0; b < n; ++b) {
+    for (Index oy = 0; oy < ho; ++oy) {
+      for (Index ox = 0; ox < wo; ++ox) {
+        for (Index ky = 0; ky < kh; ++ky) {
+          const Index iy = oy * config.stride_h + ky - config.pad_top;
+          if (iy < 0 || iy >= h) continue;
+          for (Index kx = 0; kx < kw; ++kx) {
+            const Index ix = ox * config.stride_w + kx - config.pad_left;
+            if (ix < 0 || ix >= w) continue;
+            for (Index o = 0; o < co; ++o) {
+              const float g = dout.flat(((b * ho + oy) * wo + ox) * co + o);
+              if (g == 0.0f) continue;
+              for (Index c = 0; c < ci; ++c) {
+                const Index in_off = ((b * h + iy) * w + ix) * ci + c;
+                const Index k_off = ((ky * kw + kx) * ci + c) * co + o;
+                grads.dinput.flat(in_off) += g * kernel.flat(k_off);
+                grads.dkernel.flat(k_off) += g * input.flat(in_off);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grads;
+}
+
+Tensor Reshape(const Tensor& a, std::vector<Index> new_shape) {
+  Tensor out(std::move(new_shape),
+             std::vector<float>(a.data(), a.data() + a.num_elements()));
+  return out;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  TPU_CHECK_EQ(a.rank(), 2);
+  const Index m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) out.flat(j * m + i) = a.flat(i * n + j);
+  }
+  return out;
+}
+
+Tensor ReduceSum(const Tensor& a, Index axis) {
+  TPU_CHECK_GE(axis, 0);
+  TPU_CHECK_LT(axis, a.rank());
+  std::vector<Index> out_shape;
+  for (Index i = 0; i < a.rank(); ++i) {
+    if (i != axis) out_shape.push_back(a.dim(i));
+  }
+  Tensor out(out_shape);
+  // Walk the input linearly; compute the output offset by dropping `axis`.
+  Index outer = 1, inner = 1;
+  for (Index i = 0; i < axis; ++i) outer *= a.dim(i);
+  for (Index i = axis + 1; i < a.rank(); ++i) inner *= a.dim(i);
+  const Index mid = a.dim(axis);
+  for (Index o = 0; o < outer; ++o) {
+    for (Index m = 0; m < mid; ++m) {
+      for (Index i = 0; i < inner; ++i) {
+        out.flat(o * inner + i) += a.flat((o * mid + m) * inner + i);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Softmax(const Tensor& a) {
+  TPU_CHECK_GE(a.rank(), 1);
+  const Index last = a.dim(a.rank() - 1);
+  const Index rows = a.num_elements() / last;
+  Tensor out(a.shape());
+  for (Index r = 0; r < rows; ++r) {
+    float max_v = a.flat(r * last);
+    for (Index j = 1; j < last; ++j) {
+      max_v = std::max(max_v, a.flat(r * last + j));
+    }
+    float sum = 0.0f;
+    for (Index j = 0; j < last; ++j) {
+      const float e = std::exp(a.flat(r * last + j) - max_v);
+      out.flat(r * last + j) = e;
+      sum += e;
+    }
+    for (Index j = 0; j < last; ++j) out.flat(r * last + j) /= sum;
+  }
+  return out;
+}
+
+namespace {
+
+// Iterates all multi-indices of `shape`, calling body(indices).
+void ForEachIndex(const std::vector<Index>& shape,
+                  const std::function<void(const std::vector<Index>&)>& body) {
+  std::vector<Index> idx(shape.size(), 0);
+  const Index total = NumElements(shape);
+  for (Index count = 0; count < total; ++count) {
+    body(idx);
+    for (int d = static_cast<int>(shape.size()) - 1; d >= 0; --d) {
+      if (++idx[d] < shape[d]) break;
+      idx[d] = 0;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Slice(const Tensor& a, const std::vector<Index>& starts,
+             const std::vector<Index>& sizes) {
+  TPU_CHECK_EQ(static_cast<Index>(starts.size()), a.rank());
+  TPU_CHECK_EQ(static_cast<Index>(sizes.size()), a.rank());
+  for (Index i = 0; i < a.rank(); ++i) {
+    TPU_CHECK_GE(starts[i], 0);
+    TPU_CHECK_LE(starts[i] + sizes[i], a.dim(i));
+  }
+  Tensor out(sizes);
+  if (out.num_elements() == 0) return out;
+  ForEachIndex(sizes, [&](const std::vector<Index>& idx) {
+    std::vector<Index> src = idx;
+    for (std::size_t i = 0; i < src.size(); ++i) src[i] += starts[i];
+    out.flat(out.OffsetOf(idx)) = a.flat(a.OffsetOf(src));
+  });
+  return out;
+}
+
+void InsertSlice(Tensor& dest, const Tensor& block,
+                 const std::vector<Index>& starts) {
+  TPU_CHECK_EQ(block.rank(), dest.rank());
+  if (block.num_elements() == 0) return;
+  ForEachIndex(block.shape(), [&](const std::vector<Index>& idx) {
+    std::vector<Index> dst = idx;
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += starts[i];
+    dest.flat(dest.OffsetOf(dst)) = block.flat(block.OffsetOf(idx));
+  });
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, Index axis) {
+  TPU_CHECK(!parts.empty());
+  std::vector<Index> shape = parts[0].shape();
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    TPU_CHECK_EQ(parts[i].rank(), parts[0].rank());
+    for (Index d = 0; d < parts[0].rank(); ++d) {
+      if (d != axis) {
+        TPU_CHECK_EQ(parts[i].dim(d), parts[0].dim(d));
+      }
+    }
+    shape[axis] += parts[i].dim(axis);
+  }
+  Tensor out(shape);
+  Index offset = 0;
+  for (const Tensor& part : parts) {
+    std::vector<Index> starts(out.rank(), 0);
+    starts[axis] = offset;
+    InsertSlice(out, part, starts);
+    offset += part.dim(axis);
+  }
+  return out;
+}
+
+Tensor Pad(const Tensor& a, const std::vector<Index>& lo,
+           const std::vector<Index>& hi, float value) {
+  TPU_CHECK_EQ(static_cast<Index>(lo.size()), a.rank());
+  TPU_CHECK_EQ(static_cast<Index>(hi.size()), a.rank());
+  std::vector<Index> shape = a.shape();
+  for (Index i = 0; i < a.rank(); ++i) shape[i] += lo[i] + hi[i];
+  Tensor out = Tensor::Full(shape, value);
+  InsertSlice(out, a, lo);
+  return out;
+}
+
+}  // namespace tpu::tensor

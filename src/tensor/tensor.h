@@ -1,0 +1,133 @@
+// Small dense float tensor with the reference kernels the mini-HLO evaluator
+// and the numeric optimizers need: matmul, 2-D convolution, elementwise ops,
+// reductions, slicing. Row-major layout; correctness over speed (these run
+// at test scale — simulated-time costs come from the HLO cost model, not
+// from wall-clock execution).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tpu::tensor {
+
+using Index = std::int64_t;
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<Index> shape);
+  Tensor(std::vector<Index> shape, std::vector<float> data);
+
+  static Tensor Scalar(float value) { return Tensor({}, {value}); }
+  static Tensor Zeros(std::vector<Index> shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(std::vector<Index> shape, float value);
+  // Deterministic pseudo-random fill in [-1, 1).
+  static Tensor Random(std::vector<Index> shape, std::uint64_t seed);
+
+  const std::vector<Index>& shape() const { return shape_; }
+  Index rank() const { return static_cast<Index>(shape_.size()); }
+  Index dim(Index i) const;
+  Index num_elements() const { return static_cast<Index>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& at(std::initializer_list<Index> indices);
+  float at(std::initializer_list<Index> indices) const;
+  float& flat(Index i) { return data_[i]; }
+  float flat(Index i) const { return data_[i]; }
+
+  // Linear offset of a multi-index (row-major).
+  Index OffsetOf(const std::vector<Index>& indices) const;
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+  std::string ShapeString() const;
+
+  // Largest absolute elementwise difference; shapes must match.
+  float MaxAbsDiff(const Tensor& other) const;
+
+ private:
+  std::vector<Index> shape_;
+  std::vector<Index> strides_;  // row-major
+  std::vector<float> data_;
+
+  void ComputeStrides();
+};
+
+// --- elementwise -----------------------------------------------------------
+
+Tensor Unary(const Tensor& a, const std::function<float(float)>& f);
+Tensor Binary(const Tensor& a, const Tensor& b,
+              const std::function<float(float, float)>& f);
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Scale(const Tensor& a, float s);
+Tensor Relu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Exp(const Tensor& a);
+
+// --- contractions ----------------------------------------------------------
+
+// [m, k] x [k, n] -> [m, n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+struct Conv2DConfig {
+  Index stride_h = 1;
+  Index stride_w = 1;
+  // Explicit spatial padding (SAME padding is computed by the caller).
+  Index pad_top = 0, pad_bottom = 0, pad_left = 0, pad_right = 0;
+};
+
+// input [n, h, w, c_in], kernel [kh, kw, c_in, c_out] -> [n, ho, wo, c_out].
+Tensor Conv2D(const Tensor& input, const Tensor& kernel,
+              const Conv2DConfig& config);
+
+// Vector-Jacobian products of Conv2D: gradients of sum(dout * conv(input,
+// kernel)) with respect to the input and the kernel.
+struct Conv2DGrads {
+  Tensor dinput;
+  Tensor dkernel;
+};
+Conv2DGrads Conv2DBackward(const Tensor& input, const Tensor& kernel,
+                           const Tensor& dout, const Conv2DConfig& config);
+
+// Batched matmul: [b, m, k] x [b, k, n] -> [b, m, n]. With transpose_rhs,
+// rhs is [b, n, k] and contracted along its last dim (attention scores).
+Tensor BatchMatMul(const Tensor& a, const Tensor& b, bool transpose_rhs = false);
+
+// Head split/merge (attention layout changes):
+// [t, h*d] -> [h, t, d] and back.
+Tensor SplitHeads(const Tensor& x, Index heads);
+Tensor MergeHeads(const Tensor& x);
+
+// Output spatial size for one dimension.
+Index ConvOutputSize(Index input, Index kernel, Index stride, Index pad_lo,
+                     Index pad_hi);
+
+// --- shape ops --------------------------------------------------------------
+
+Tensor Reshape(const Tensor& a, std::vector<Index> new_shape);
+Tensor Transpose2D(const Tensor& a);
+// Sum over one axis, removing it.
+Tensor ReduceSum(const Tensor& a, Index axis);
+// Softmax over the last axis.
+Tensor Softmax(const Tensor& a);
+
+// Extracts the block starting at `starts` with size `sizes`.
+Tensor Slice(const Tensor& a, const std::vector<Index>& starts,
+             const std::vector<Index>& sizes);
+// Writes `block` into `dest` at `starts` (in place).
+void InsertSlice(Tensor& dest, const Tensor& block,
+                 const std::vector<Index>& starts);
+// Concatenates along `axis`.
+Tensor Concat(const std::vector<Tensor>& parts, Index axis);
+
+// Pads the tensor with `value` (per-axis lo/hi amounts).
+Tensor Pad(const Tensor& a, const std::vector<Index>& lo,
+           const std::vector<Index>& hi, float value);
+
+}  // namespace tpu::tensor

@@ -1,0 +1,180 @@
+// Tests for the attention-supporting ops (batch matmul, head split/merge)
+// across all four layers: tensor kernels, HLO evaluation, reverse-mode
+// gradients, and SPMD head sharding.
+#include <gtest/gtest.h>
+
+#include "hlo/cost_model.h"
+#include "hlo/gradients.h"
+#include "hlo/hlo.h"
+#include "spmd/spmd.h"
+#include "tensor/tensor.h"
+
+namespace tpu {
+namespace {
+
+using tensor::Tensor;
+
+TEST(BatchMatMul, MatchesPerBatchMatMul) {
+  const Tensor a = Tensor::Random({3, 4, 5}, 1);
+  const Tensor b = Tensor::Random({3, 5, 6}, 2);
+  const Tensor out = tensor::BatchMatMul(a, b);
+  ASSERT_EQ(out.shape(), (std::vector<tensor::Index>{3, 4, 6}));
+  for (tensor::Index bi = 0; bi < 3; ++bi) {
+    const Tensor sa = tensor::Slice(a, {bi, 0, 0}, {1, 4, 5});
+    const Tensor sb = tensor::Slice(b, {bi, 0, 0}, {1, 5, 6});
+    const Tensor expect = tensor::MatMul(tensor::Reshape(sa, {4, 5}),
+                                         tensor::Reshape(sb, {5, 6}));
+    const Tensor got = tensor::Reshape(
+        tensor::Slice(out, {bi, 0, 0}, {1, 4, 6}), {4, 6});
+    EXPECT_LT(got.MaxAbsDiff(expect), 1e-5f) << "batch " << bi;
+  }
+}
+
+TEST(BatchMatMul, TransposeRhsMatchesExplicitTranspose) {
+  const Tensor a = Tensor::Random({2, 4, 5}, 3);
+  const Tensor b = Tensor::Random({2, 6, 5}, 4);  // [b, n, k]
+  const Tensor out = tensor::BatchMatMul(a, b, /*transpose_rhs=*/true);
+  ASSERT_EQ(out.shape(), (std::vector<tensor::Index>{2, 4, 6}));
+  for (tensor::Index bi = 0; bi < 2; ++bi) {
+    const Tensor sb = tensor::Reshape(
+        tensor::Slice(b, {bi, 0, 0}, {1, 6, 5}), {6, 5});
+    const Tensor sa = tensor::Reshape(
+        tensor::Slice(a, {bi, 0, 0}, {1, 4, 5}), {4, 5});
+    const Tensor expect = tensor::MatMul(sa, tensor::Transpose2D(sb));
+    const Tensor got = tensor::Reshape(
+        tensor::Slice(out, {bi, 0, 0}, {1, 4, 6}), {4, 6});
+    EXPECT_LT(got.MaxAbsDiff(expect), 1e-5f);
+  }
+}
+
+TEST(SplitMergeHeads, RoundTrip) {
+  const Tensor x = Tensor::Random({6, 12}, 5);
+  const Tensor split = tensor::SplitHeads(x, 4);
+  ASSERT_EQ(split.shape(), (std::vector<tensor::Index>{4, 6, 3}));
+  // Head h, token t, channel c maps from column h*3+c.
+  EXPECT_EQ(split.at({2, 1, 0}), x.at({1, 6}));
+  const Tensor merged = tensor::MergeHeads(split);
+  EXPECT_EQ(merged.MaxAbsDiff(x), 0.0f);
+}
+
+TEST(HloAttention, EvaluatorRunsFullAttention) {
+  hlo::HloModule m("attn");
+  const auto q = m.Parameter({8, 16}, "q");
+  const auto k = m.Parameter({8, 16}, "k");
+  const auto v = m.Parameter({8, 16}, "v");
+  const auto qh = m.SplitHeads(q, 4);
+  const auto kh = m.SplitHeads(k, 4);
+  const auto vh = m.SplitHeads(v, 4);
+  const auto scores = m.Softmax(m.BatchMatMul(qh, kh, true));
+  m.MergeHeads(m.BatchMatMul(scores, vh));
+  const Tensor out = hlo::Evaluate(
+      m, {Tensor::Random({8, 16}, 6), Tensor::Random({8, 16}, 7),
+          Tensor::Random({8, 16}, 8)});
+  EXPECT_EQ(out.shape(), (std::vector<tensor::Index>{8, 16}));
+  // Attention outputs are convex combinations of v rows: bounded by the
+  // per-column min/max of v (checked loosely via magnitude).
+  for (tensor::Index i = 0; i < out.num_elements(); ++i) {
+    EXPECT_LE(std::abs(out.flat(i)), 1.0f + 1e-5f);
+  }
+}
+
+TEST(HloAttention, GradientsMatchFiniteDifferences) {
+  hlo::HloModule m("attn_grad");
+  const auto q = m.Parameter({4, 8}, "q");
+  const auto k = m.Parameter({4, 8}, "k");
+  const auto v = m.Parameter({4, 8}, "v");
+  const auto qh = m.SplitHeads(q, 2);
+  const auto kh = m.SplitHeads(k, 2);
+  const auto vh = m.SplitHeads(v, 2);
+  const auto scores = m.Softmax(m.Scale(m.BatchMatMul(qh, kh, true), 0.5f));
+  m.MergeHeads(m.BatchMatMul(scores, vh));
+  const std::vector<Tensor> params{Tensor::Random({4, 8}, 9),
+                                   Tensor::Random({4, 8}, 10),
+                                   Tensor::Random({4, 8}, 11)};
+  const auto result = hlo::EvaluateWithGradients(m, params);
+  for (int p = 0; p < 3; ++p) {
+    const Tensor fd = hlo::FiniteDifferenceGradient(m, params, p);
+    EXPECT_LE(result.param_grads[p].MaxAbsDiff(fd), 5e-2f) << "param " << p;
+  }
+}
+
+TEST(HloAttention, BatchMatMulGradientNoTranspose) {
+  hlo::HloModule m("bmm_grad");
+  const auto a = m.Parameter({2, 3, 4}, "a");
+  const auto b = m.Parameter({2, 4, 5}, "b");
+  m.BatchMatMul(a, b);
+  const std::vector<Tensor> params{Tensor::Random({2, 3, 4}, 12),
+                                   Tensor::Random({2, 4, 5}, 13)};
+  const auto result = hlo::EvaluateWithGradients(m, params);
+  for (int p = 0; p < 2; ++p) {
+    const Tensor fd = hlo::FiniteDifferenceGradient(m, params, p);
+    EXPECT_LE(result.param_grads[p].MaxAbsDiff(fd), 2e-2f) << "param " << p;
+  }
+}
+
+TEST(SpmdAttention, HeadShardedAttentionIsLocal) {
+  // Feature-tiled q/k/v become head-tiled after SplitHeads; the whole
+  // attention body runs without any communication.
+  hlo::HloModule m("attn_spmd");
+  const auto x = m.Parameter({8, 16}, "x");
+  const auto wq = m.Parameter({16, 16}, "wq");
+  const auto wk = m.Parameter({16, 16}, "wk");
+  const auto wv = m.Parameter({16, 16}, "wv");
+  const auto qh = m.SplitHeads(m.Dot(x, wq), 4);
+  const auto kh = m.SplitHeads(m.Dot(x, wk), 4);
+  const auto vh = m.SplitHeads(m.Dot(x, wv), 4);
+  const auto scores = m.Softmax(m.BatchMatMul(qh, kh, true));
+  m.MergeHeads(m.BatchMatMul(scores, vh));
+
+  const std::vector<spmd::Sharding> shardings{
+      spmd::Sharding::Replicated(), spmd::Sharding::Tiled(1),
+      spmd::Sharding::Tiled(1), spmd::Sharding::Tiled(1)};
+  const auto pm = spmd::Partition(m, shardings, 4);
+  EXPECT_TRUE(pm.comm_events().empty()) << pm.ToString();
+  EXPECT_EQ(pm.at(m.root()).sharding, spmd::Sharding::Tiled(1));
+
+  const std::vector<Tensor> params{
+      Tensor::Random({8, 16}, 14), Tensor::Random({16, 16}, 15),
+      Tensor::Random({16, 16}, 16), Tensor::Random({16, 16}, 17)};
+  const Tensor reference = hlo::Evaluate(m, params);
+  const auto exec = spmd::ExecutePartitioned(pm, params);
+  EXPECT_LE(exec.full_root.MaxAbsDiff(reference), 1e-5f);
+  EXPECT_EQ(exec.allgather_bytes, 0);
+}
+
+TEST(SpmdAttention, SoftmaxOverHeadShardedScoresStaysLocal) {
+  // Scores are [h, t, t] tiled on heads; softmax normalizes the last axis,
+  // which is untouched by the tiling.
+  hlo::HloModule m("softmax_heads");
+  const auto s = m.Parameter({4, 6, 6}, "scores");
+  m.Softmax(s);
+  const auto pm = spmd::Partition(m, {spmd::Sharding::Tiled(0)}, 2);
+  EXPECT_EQ(pm.at(m.root()).sharding, spmd::Sharding::Tiled(0));
+  EXPECT_TRUE(pm.comm_events().empty());
+}
+
+TEST(SpmdAttention, UnevenHeadsFallBackToReplication) {
+  // 6 heads over 4 partitions cannot split evenly: the partitioner must
+  // fall back (correctly) rather than produce wrong shapes.
+  hlo::HloModule m("uneven");
+  const auto x = m.Parameter({4, 12}, "x");
+  m.SplitHeads(x, 6);
+  const auto pm = spmd::Partition(m, {spmd::Sharding::Tiled(1)}, 4);
+  EXPECT_EQ(pm.at(m.root()).sharding, spmd::Sharding::Replicated());
+  const std::vector<Tensor> params{Tensor::Random({4, 12}, 18)};
+  const auto exec = spmd::ExecutePartitioned(pm, params);
+  EXPECT_LE(exec.full_root.MaxAbsDiff(hlo::Evaluate(m, params)), 1e-6f);
+}
+
+TEST(CostModel, BatchMatMulFlopsScaleWithBatch) {
+  hlo::HloModule m("bmm");
+  const auto a = m.Parameter({16, 64, 32}, "a");
+  const auto b = m.Parameter({16, 32, 48}, "b");
+  const auto bmm = m.BatchMatMul(a, b);
+  const auto cost = hlo::CostOf(m, m.instr(bmm));
+  EXPECT_DOUBLE_EQ(cost.flops, 16.0 * 2 * 64 * 32 * 48);
+  EXPECT_TRUE(cost.uses_mxu);
+}
+
+}  // namespace
+}  // namespace tpu

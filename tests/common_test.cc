@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/bfloat16.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+
+namespace tpu {
+namespace {
+
+TEST(BFloat16, ExactValuesRoundTrip) {
+  // Values with <= 8 significand bits survive the conversion exactly.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.5f, 128.0f, 0.0078125f}) {
+    EXPECT_EQ(BFloat16(v).ToFloat(), v) << v;
+  }
+}
+
+TEST(BFloat16, RoundsToNearestEven) {
+  // bf16 has 7 explicit mantissa bits, so the ulp at 1.0 is 2^-7. The value
+  // 1 + 2^-8 is exactly halfway between bf16(1.0) (even mantissa) and
+  // 1.0078125 (odd); round-to-nearest-even keeps the even mantissa.
+  const float halfway_even = 1.0f + std::ldexp(1.0f, -8);
+  EXPECT_EQ(BFloat16(halfway_even).ToFloat(), 1.0f);
+  // Just above halfway rounds up.
+  const float above = halfway_even + std::ldexp(1.0f, -16);
+  EXPECT_EQ(BFloat16(above).ToFloat(), 1.0078125f);
+  // Halfway above an odd mantissa rounds up to the even one.
+  const float halfway_odd = 1.0078125f + std::ldexp(1.0f, -8);
+  EXPECT_EQ(BFloat16(halfway_odd).ToFloat(), 1.015625f);
+}
+
+TEST(BFloat16, RelativeErrorBounded) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = static_cast<float>(rng.NextUniform(-1e6, 1e6));
+    const float q = QuantizeToBFloat16(v);
+    if (v != 0.0f) {
+      // 8 significand bits -> relative error <= 2^-8.
+      EXPECT_LE(std::abs(q - v) / std::abs(v), 1.0f / 256.0f) << v;
+    }
+  }
+}
+
+TEST(BFloat16, NanStaysNan) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(BFloat16(nan).ToFloat()));
+}
+
+TEST(BFloat16, InfinityPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(BFloat16(inf).ToFloat(), inf);
+  EXPECT_EQ(BFloat16(-inf).ToFloat(), -inf);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+    if (va != c.NextU64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformMeanAndRange) {
+  Rng rng(1);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(2);
+  double sum = 0, sum_sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, ParetoIsHeavyTailedAboveScale) {
+  Rng rng(3);
+  int above_2x = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextPareto(1.0, 2.0);
+    ASSERT_GE(v, 1.0);
+    if (v > 2.0) ++above_2x;
+  }
+  // P(X > 2) = (1/2)^alpha = 0.25 for alpha = 2.
+  EXPECT_NEAR(static_cast<double>(above_2x) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(4);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(MathUtil, CeilDivAndRoundUp) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(1, 3), 1);
+  EXPECT_EQ(CeilDiv(0, 3), 0);
+  EXPECT_EQ(RoundUp(10, 8), 16);
+  EXPECT_EQ(RoundUp(16, 8), 16);
+}
+
+TEST(MathUtil, PowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(1024), 10);
+  EXPECT_EQ(Log2Floor(1023), 9);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(Millis(2.0), 0.002);
+  EXPECT_DOUBLE_EQ(ToMillis(Micros(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(ToMinutes(Seconds(120)), 2.0);
+  EXPECT_DOUBLE_EQ(GBps(70.0), 70e9);
+  EXPECT_EQ(kMiB, 1048576);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace tpu

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "models/embedding.h"
+
+namespace tpu::models {
+namespace {
+
+std::vector<EmbeddingTableSpec> CriteoLikeTables() {
+  // A few huge tables, many small ones — the Criteo shape.
+  std::vector<EmbeddingTableSpec> tables;
+  for (std::int64_t rows : {40'000'000LL, 30'000'000LL, 10'000'000LL,
+                            2'000'000LL, 500'000LL, 50'000LL, 10'000LL,
+                            1'000LL, 100LL}) {
+    tables.push_back({rows, 128});
+  }
+  return tables;
+}
+
+TEST(ChoosePlacement, ReplicatesSmallShardsLarge) {
+  const auto placement = ChoosePlacement(CriteoLikeTables(), 256);
+  EXPECT_GT(placement.sharded_tables, 0);
+  EXPECT_GT(placement.replicated_tables, 0);
+  // Big tables (>64 MiB) sharded, small ones replicated.
+  EXPECT_EQ(placement.per_table.front(), Placement::kRowSharded);
+  EXPECT_EQ(placement.per_table.back(), Placement::kReplicated);
+}
+
+TEST(ChoosePlacement, FitsHbmWhereReplicationCannot) {
+  const auto tables = CriteoLikeTables();
+  Bytes replicate_all = 0;
+  for (const auto& t : tables) replicate_all += t.bytes();
+  const auto placement = ChoosePlacement(tables, 256);
+  const Bytes hbm = 32LL * kGiB;
+  EXPECT_GT(replicate_all, hbm);               // cannot replicate
+  EXPECT_LT(placement.bytes_per_chip, hbm / 4);  // paper policy fits easily
+}
+
+TEST(ChoosePlacement, ThresholdControlsSplit) {
+  const auto tables = CriteoLikeTables();
+  const auto aggressive = ChoosePlacement(tables, 256, /*threshold=*/0);
+  EXPECT_EQ(aggressive.replicated_tables, 0);
+  const auto lax = ChoosePlacement(tables, 256, /*threshold=*/1LL << 62);
+  EXPECT_EQ(lax.sharded_tables, 0);
+}
+
+TEST(PartitionedEmbeddings, LookupsMatchReferenceEverywhere) {
+  const std::vector<EmbeddingTableSpec> tables = CriteoLikeTables();
+  PartitionedEmbeddings bank(tables, 64);
+  Rng rng(5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int table = static_cast<int>(rng.NextBounded(9));
+    const EmbeddingTableSpec& spec = tables[table];
+    const std::int64_t row =
+        static_cast<std::int64_t>(rng.NextBounded(spec.rows));
+    const int chip = static_cast<int>(rng.NextBounded(64));
+    const auto result = bank.Lookup(table, row, chip);
+    ASSERT_EQ(static_cast<std::int64_t>(result.vector.size()), spec.dim);
+    for (std::int64_t c = 0; c < spec.dim; ++c) {
+      ASSERT_EQ(result.vector[c],
+                PartitionedEmbeddings::ReferenceValue(table, row, c));
+    }
+  }
+}
+
+TEST(PartitionedEmbeddings, ReplicatedLookupsAreLocal) {
+  PartitionedEmbeddings bank(CriteoLikeTables(), 64);
+  // Smallest table is replicated: every lookup local from any chip.
+  for (int chip = 0; chip < 64; ++chip) {
+    const auto result = bank.Lookup(8, 50, chip);
+    EXPECT_FALSE(result.remote);
+  }
+  EXPECT_EQ(bank.remote_lookups(), 0);
+  EXPECT_EQ(bank.remote_bytes(), 0);
+}
+
+TEST(PartitionedEmbeddings, ShardedLookupsMostlyRemote) {
+  PartitionedEmbeddings bank(CriteoLikeTables(), 64);
+  Rng rng(6);
+  int total = 0;
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::int64_t row =
+        static_cast<std::int64_t>(rng.NextBounded(40'000'000));
+    bank.Lookup(0, row, static_cast<int>(rng.NextBounded(64)));
+    ++total;
+  }
+  // Random rows against 64 shards: ~63/64 remote.
+  EXPECT_GT(bank.remote_lookups(), total * 9 / 10);
+  EXPECT_EQ(bank.remote_bytes(), bank.remote_lookups() * 128 * 4);
+}
+
+TEST(PartitionedEmbeddings, OwnerPartitionIsBalanced) {
+  PartitionedEmbeddings bank(CriteoLikeTables(), 8);
+  std::vector<int> counts(8, 0);
+  const std::int64_t rows = 40'000'000;
+  for (std::int64_t row = 0; row < rows; row += rows / 1000) {
+    ++counts[bank.OwnerOf(0, row, 0)];
+  }
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(PartitionedEmbeddings, TrafficMatchesStepModelPayload) {
+  // The DLRM step model charges batch * 26 tables * 128 dims * 4 bytes of
+  // all-to-all per direction; random lookups against the partitioned bank
+  // should generate approximately that much remote traffic (minus the local
+  // 1/chips fraction and the replicated small tables).
+  std::vector<EmbeddingTableSpec> tables;
+  for (int t = 0; t < 26; ++t) tables.push_back({10'000'000, 128});
+  PartitionedEmbeddings bank(tables, 64);
+  Rng rng(11);
+  const int batch = 128;
+  for (int example = 0; example < batch; ++example) {
+    const int chip = static_cast<int>(rng.NextBounded(64));
+    for (int table = 0; table < 26; ++table) {
+      bank.Lookup(table, static_cast<std::int64_t>(rng.NextBounded(10'000'000)),
+                  chip);
+    }
+  }
+  const Bytes modeled = static_cast<Bytes>(batch) * 26 * 128 * 4;
+  // ~63/64 of lookups are remote.
+  EXPECT_GT(bank.remote_bytes(), modeled * 9 / 10);
+  EXPECT_LE(bank.remote_bytes(), modeled);
+}
+
+}  // namespace
+}  // namespace tpu::models

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "frameworks/runtime_model.h"
+
+namespace tpu::frameworks {
+namespace {
+
+using models::Benchmark;
+
+TEST(InitTime, Table2CalibrationAt4096Chips) {
+  // TF 498-1040 s vs JAX 122-294 s (Table 2); we check the bands our model
+  // was calibrated to, with 10% slack.
+  struct Row {
+    Benchmark benchmark;
+    int chips;
+    double tf_seconds;
+    double jax_seconds;
+  };
+  const Row rows[] = {
+      {Benchmark::kResNet50, 4096, 498, 134},
+      {Benchmark::kBert, 4096, 1040, 190},
+      {Benchmark::kTransformer, 4096, 868, 294},
+  };
+  for (const Row& row : rows) {
+    const SimTime tf =
+        EstimateInitTime(Framework::kTensorFlow, row.benchmark, row.chips)
+            .total();
+    const SimTime jax =
+        EstimateInitTime(Framework::kJax, row.benchmark, row.chips).total();
+    EXPECT_NEAR(tf, row.tf_seconds, row.tf_seconds * 0.10)
+        << models::BenchmarkName(row.benchmark);
+    EXPECT_NEAR(jax, row.jax_seconds, row.jax_seconds * 0.10)
+        << models::BenchmarkName(row.benchmark);
+  }
+  // SSD's JAX entry was measured at 2048 chips (122 s).
+  const SimTime ssd_jax =
+      EstimateInitTime(Framework::kJax, Benchmark::kSsd, 2048).total();
+  EXPECT_NEAR(ssd_jax, 122, 15);
+}
+
+TEST(InitTime, TfGrowsLinearlyWithDevices) {
+  const SimTime at_1k =
+      EstimateInitTime(Framework::kTensorFlow, Benchmark::kResNet50, 1024)
+          .total();
+  const SimTime at_4k =
+      EstimateInitTime(Framework::kTensorFlow, Benchmark::kResNet50, 4096)
+          .total();
+  // Graph construction dominates; quadrupling devices should much more than
+  // double init time.
+  EXPECT_GT(at_4k, at_1k * 2.5);
+}
+
+TEST(InitTime, JaxIsNearlyScaleInvariant) {
+  const SimTime at_256 =
+      EstimateInitTime(Framework::kJax, Benchmark::kResNet50, 256).total();
+  const SimTime at_4k =
+      EstimateInitTime(Framework::kJax, Benchmark::kResNet50, 4096).total();
+  // Only mesh init grows; the paper: "JAX setup times (other than TPU
+  // topological mesh initialization) do not change significantly".
+  EXPECT_LT(at_4k, at_256 * 1.6);
+}
+
+TEST(InitTime, JaxBeatsTfEverywhereAtScale) {
+  for (Benchmark b : models::AllBenchmarks()) {
+    const SimTime tf =
+        EstimateInitTime(Framework::kTensorFlow, b, 1024).total();
+    const SimTime jax = EstimateInitTime(Framework::kJax, b, 1024).total();
+    EXPECT_LT(jax, tf) << models::BenchmarkName(b);
+  }
+}
+
+TEST(InitTime, BreakdownComponentsMatchFramework) {
+  const InitBreakdown tf =
+      EstimateInitTime(Framework::kTensorFlow, Benchmark::kBert, 2048);
+  EXPECT_GT(tf.graph_construction, 0);
+  EXPECT_GT(tf.distribution, 0);
+  EXPECT_EQ(tf.startup, 0);
+  const InitBreakdown jax =
+      EstimateInitTime(Framework::kJax, Benchmark::kBert, 2048);
+  EXPECT_EQ(jax.graph_construction, 0);
+  EXPECT_EQ(jax.distribution, 0);
+  EXPECT_GT(jax.startup, 0);
+  EXPECT_GT(jax.mesh_init, 0);
+}
+
+TEST(EvalMetric, TfScalesWithHostsJaxDoesNot) {
+  const SimTime tf_small = EvalMetricSeconds(Framework::kTensorFlow, 16);
+  const SimTime tf_large = EvalMetricSeconds(Framework::kTensorFlow, 1024);
+  EXPECT_GT(tf_large, tf_small * 2);
+  const SimTime jax_small = EvalMetricSeconds(Framework::kJax, 16);
+  const SimTime jax_large = EvalMetricSeconds(Framework::kJax, 1024);
+  EXPECT_DOUBLE_EQ(jax_small, jax_large);
+  EXPECT_LT(jax_large, tf_large);
+}
+
+TEST(CompileProfile, BertHasTheBiggestGraph) {
+  for (Benchmark b : models::AllBenchmarks()) {
+    if (b == Benchmark::kBert) continue;
+    EXPECT_LE(CompileProfileFor(b).graph_complexity,
+              CompileProfileFor(Benchmark::kBert).graph_complexity);
+  }
+}
+
+}  // namespace
+}  // namespace tpu::frameworks

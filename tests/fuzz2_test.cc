@@ -1,0 +1,128 @@
+// Second fuzz wave: compiler passes, gradients, and network conservation
+// properties on random inputs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "hlo/gradients.h"
+#include "hlo/passes.h"
+#include "network/network.h"
+#include "sim/simulator.h"
+#include "tests/test_util.h"
+#include "topology/topology.h"
+
+namespace tpu {
+namespace {
+
+using testutil::MakeRandomGraph;
+using testutil::RandomGraph;
+
+class PassFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PassFuzz, PassPipelinePreservesSemantics) {
+  Rng rng(4000 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomGraph g = MakeRandomGraph(rng);
+    const tensor::Tensor reference = hlo::Evaluate(g.module, g.params);
+
+    hlo::HloModule optimized = hlo::MoveScalesToSmallerSide(
+        hlo::CommonSubexpressionElimination(
+            hlo::EliminateDeadCode(g.module)));
+    ASSERT_EQ(optimized.num_parameters(), g.module.num_parameters());
+    const tensor::Tensor value = hlo::Evaluate(optimized, g.params);
+    ASSERT_EQ(value.shape(), reference.shape());
+    EXPECT_LE(value.MaxAbsDiff(reference), 2e-4f)
+        << "seed " << GetParam() << " trial " << trial;
+    // Passes never add kernels.
+    EXPECT_LE(optimized.instructions().size(),
+              g.module.instructions().size() + 2);  // +scale relocations
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PassFuzz, ::testing::Range(0, 8));
+
+class GradientFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GradientFuzz, SpotCheckedFiniteDifferences) {
+  Rng rng(5000 + GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    RandomGraph g = MakeRandomGraph(rng);
+    const auto result = hlo::EvaluateWithGradients(g.module, g.params);
+    ASSERT_EQ(result.param_grads.size(), g.params.size());
+
+    // Spot-check a few coordinates of one random parameter against central
+    // differences (full FD on every fuzz case would be slow).
+    const int p = static_cast<int>(rng.NextBounded(g.params.size()));
+    const tensor::Index n = g.params[p].num_elements();
+    for (int check = 0; check < 3; ++check) {
+      const tensor::Index i =
+          static_cast<tensor::Index>(rng.NextBounded(n));
+      const float eps = 3e-3f;
+      std::vector<tensor::Tensor> perturbed = g.params;
+      const float original = perturbed[p].flat(i);
+      auto loss = [&] {
+        const tensor::Tensor root = hlo::Evaluate(g.module, perturbed);
+        double sum = 0;
+        for (tensor::Index j = 0; j < root.num_elements(); ++j) {
+          sum += root.flat(j);
+        }
+        return sum;
+      };
+      perturbed[p].flat(i) = original + eps;
+      const double up = loss();
+      perturbed[p].flat(i) = original - eps;
+      const double down = loss();
+      const double fd = (up - down) / (2.0 * eps);
+      // Random graphs compose tanh/softmax/relu: use a scale-aware band
+      // (relu kinks are rare but possible, hence the generous tolerance).
+      EXPECT_NEAR(result.param_grads[p].flat(i), fd,
+                  0.12 * (1.0 + std::abs(fd)))
+          << "seed " << GetParam() << " trial " << trial << " param " << p
+          << " elem " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GradientFuzz, ::testing::Range(0, 8));
+
+class NetworkFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetworkFuzz, RandomTrafficConservesBytesAndOrdersTime) {
+  Rng rng(6000 + GetParam());
+  const int size_x = 2 + static_cast<int>(rng.NextBounded(7));
+  const int size_y = 2 + static_cast<int>(rng.NextBounded(7));
+  topo::MeshTopology topo(
+      topo::TopologyConfig::Slice(size_x, size_y, rng.NextBounded(2) == 1));
+  sim::Simulator simulator;
+  net::Network network(&topo, net::NetworkConfig{}, &simulator);
+
+  Bytes payload_hops = 0;
+  int completions = 0;
+  const int messages = 50;
+  SimTime ideal_max = 0;
+  for (int msg = 0; msg < messages; ++msg) {
+    const auto src =
+        static_cast<topo::ChipId>(rng.NextBounded(topo.num_chips()));
+    auto dst = static_cast<topo::ChipId>(rng.NextBounded(topo.num_chips()));
+    if (dst == src) dst = (dst + 1) % topo.num_chips();
+    const Bytes bytes = 1 + static_cast<Bytes>(rng.NextBounded(1 << 16));
+    payload_hops +=
+        bytes * static_cast<Bytes>(topo.RouteLinks(src, dst).size());
+    ideal_max = std::max(ideal_max, network.EstimateArrival(src, dst, bytes) -
+                                        simulator.now());
+    network.Send(src, dst, bytes, [&] { ++completions; });
+  }
+  const SimTime elapsed = simulator.Run();
+  EXPECT_EQ(completions, messages);
+  // Conservation: per-link-type byte counters sum to payload x hops.
+  EXPECT_EQ(network.traffic().total_bytes(), payload_hops);
+  EXPECT_EQ(network.traffic().messages, messages);
+  // Contention can only make things slower than the uncontended estimate.
+  EXPECT_GE(elapsed + 1e-12, ideal_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFuzz, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace tpu

@@ -1,0 +1,124 @@
+// Randomized property tests across module boundaries:
+//  * random HLO graphs with random shardings: partitioned execution must
+//    match the unpartitioned reference;
+//  * random mesh shapes / payload sizes / options: the 2-D gradient
+//    summation must produce exact global sums on every chip;
+//  * random collective schedules: reduce-scatter ownership must tile the
+//    payload, and all-gather must restore it.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "collectives/all_reduce.h"
+#include "common/rng.h"
+#include "tests/test_util.h"
+#include "hlo/hlo.h"
+#include "network/network.h"
+#include "sim/simulator.h"
+#include "spmd/spmd.h"
+#include "tensor/tensor.h"
+#include "topology/topology.h"
+
+namespace tpu {
+namespace {
+
+// --- random SPMD graphs -----------------------------------------------------
+
+using testutil::MakeRandomGraph;
+using testutil::RandomGraph;
+
+class SpmdFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpmdFuzz, PartitionedMatchesReference) {
+  Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomGraph g = MakeRandomGraph(rng);
+    const int partitions = 2 + static_cast<int>(rng.NextBounded(3));
+    const tensor::Tensor reference = hlo::Evaluate(g.module, g.params);
+    const auto pm = spmd::Partition(g.module, g.shardings, partitions);
+    const auto exec = spmd::ExecutePartitioned(pm, g.params);
+    ASSERT_EQ(exec.full_root.shape(), reference.shape())
+        << pm.ToString();
+    EXPECT_LE(exec.full_root.MaxAbsDiff(reference), 2e-4f)
+        << "seed " << GetParam() << " trial " << trial << "\n"
+        << pm.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpmdFuzz, ::testing::Range(0, 10));
+
+// --- random collective configurations ---------------------------------------
+
+class SummationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SummationFuzz, TwoDSummationExactOnRandomMeshes) {
+  Rng rng(2000 + GetParam());
+  const int size_x = 2 + static_cast<int>(rng.NextBounded(7));
+  const int size_y = 2 + static_cast<int>(rng.NextBounded(7));
+  const bool wrap = rng.NextBounded(2) == 1;
+  // Deliberately awkward payload sizes (primes, tiny, non-divisible).
+  const std::int64_t elems_options[] = {1, 7, 97, 1021, 4096, 12289};
+  const std::int64_t elems = elems_options[rng.NextBounded(6)];
+
+  topo::MeshTopology topo(topo::TopologyConfig::Slice(size_x, size_y, wrap));
+  sim::Simulator simulator;
+  net::Network network(&topo, net::NetworkConfig{}, &simulator);
+
+  std::vector<std::vector<float>> buffers(topo.num_chips());
+  std::vector<float> expected(elems, 0.0f);
+  std::vector<float*> ptrs;
+  for (auto& buffer : buffers) {
+    buffer.resize(elems);
+    for (auto& v : buffer) v = static_cast<float>(rng.NextBounded(16));
+    for (std::int64_t i = 0; i < elems; ++i) expected[i] += buffer[i];
+    ptrs.push_back(buffer.data());
+  }
+
+  coll::GradientSummationConfig config;
+  config.elems = elems;
+  config.collective.bidirectional = rng.NextBounded(2) == 1;
+  const auto result = coll::TwoDGradientSummation(network, config, ptrs);
+  EXPECT_GE(result.reduce_seconds, 0.0);
+  for (int chip = 0; chip < topo.num_chips(); ++chip) {
+    for (std::int64_t i = 0; i < elems; ++i) {
+      ASSERT_EQ(buffers[chip][i], expected[i])
+          << "mesh " << size_x << "x" << size_y << " wrap=" << wrap
+          << " elems=" << elems << " chip=" << chip << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummationFuzz, ::testing::Range(0, 24));
+
+class RingOwnershipFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingOwnershipFuzz, OwnershipTilesArbitraryRanges) {
+  Rng rng(3000 + GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const int ring = 1 + static_cast<int>(rng.NextBounded(16));
+    const std::int64_t begin = static_cast<std::int64_t>(rng.NextBounded(100));
+    const std::int64_t len = static_cast<std::int64_t>(rng.NextBounded(300));
+    coll::CollectiveOptions options;
+    options.bidirectional = rng.NextBounded(2) == 1;
+    const coll::Range range{begin, begin + len};
+    std::vector<int> covered(len, 0);
+    for (int rank = 0; rank < ring; ++rank) {
+      for (const coll::Range& owned :
+           coll::OwnedAfterReduceScatter(range, ring, rank, options)) {
+        for (std::int64_t i = owned.begin; i < owned.end; ++i) {
+          ASSERT_GE(i, begin);
+          ASSERT_LT(i, begin + len);
+          ++covered[i - begin];
+        }
+      }
+    }
+    for (std::int64_t i = 0; i < len; ++i) {
+      ASSERT_EQ(covered[i], 1) << "ring=" << ring << " len=" << len;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingOwnershipFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace tpu

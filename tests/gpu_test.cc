@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_cluster.h"
+#include "models/model_specs.h"
+
+namespace tpu::gpu {
+namespace {
+
+TEST(GpuAllReduce, SingleGpuIsOnlyOverhead) {
+  const GpuSystemConfig config = GpuSystemConfig::A100();
+  EXPECT_NEAR(GpuAllReduceSeconds(config, 1, 100 * kMiB),
+              config.step_launch_overhead, 1e-9);
+}
+
+TEST(GpuAllReduce, IntraNodeIsNvlinkFast) {
+  const GpuSystemConfig config = GpuSystemConfig::A100();
+  const SimTime eight = GpuAllReduceSeconds(config, 8, 100 * kMiB);
+  // 2 * 100MiB * 7/8 / 300 GB/s ~= 0.6 ms.
+  EXPECT_LT(eight, Millis(1.0));
+}
+
+TEST(GpuAllReduce, InterNodeIsMuchSlower) {
+  const GpuSystemConfig config = GpuSystemConfig::A100();
+  const SimTime island = GpuAllReduceSeconds(config, 8, 100 * kMiB);
+  const SimTime cluster = GpuAllReduceSeconds(config, 64, 100 * kMiB);
+  EXPECT_GT(cluster, island * 1.5);
+}
+
+TEST(GpuAllReduce, LatencyTermGrowsWithNodes) {
+  const GpuSystemConfig config = GpuSystemConfig::A100();
+  // Tiny payload: pure latency regime; more nodes -> more ring hops.
+  const SimTime small = GpuAllReduceSeconds(config, 64, 1024);
+  const SimTime large = GpuAllReduceSeconds(config, 2048, 1024);
+  EXPECT_GT(large, small * 4);
+}
+
+TEST(GpuStep, V100SlowerThanA100) {
+  const models::ModelSpec& resnet =
+      models::GetModelSpec(models::Benchmark::kResNet50);
+  const auto a100 = GpuStepTime(GpuSystemConfig::A100(), resnet, 256, 16384);
+  const auto v100 = GpuStepTime(GpuSystemConfig::V100(), resnet, 256, 16384);
+  EXPECT_GT(v100.step(), a100.step());
+}
+
+TEST(GpuStep, ComputeShrinksWithGpusButAllReduceDoesNot) {
+  const models::ModelSpec& bert =
+      models::GetModelSpec(models::Benchmark::kBert);
+  const GpuSystemConfig config = GpuSystemConfig::A100();
+  const auto small = GpuStepTime(config, bert, 256, 8192);
+  const auto large = GpuStepTime(config, bert, 2048, 8192);
+  EXPECT_LT(large.compute, small.compute);
+  EXPECT_GE(large.allreduce, small.allreduce * 0.8);
+}
+
+TEST(GpuEndToEnd, ScalingSaturates) {
+  const models::ModelSpec& resnet =
+      models::GetModelSpec(models::Benchmark::kResNet50);
+  const GpuSystemConfig config = GpuSystemConfig::A100();
+  const double at_16 = GpuEndToEndMinutes(config, resnet, 16, 4096);
+  const double at_1024 = GpuEndToEndMinutes(config, resnet, 1024, 65536);
+  EXPECT_LT(at_1024, at_16);  // still faster in absolute terms
+  // ...but far from linear: 64x the chips for << 64x the speedup.
+  EXPECT_LT(at_16 / at_1024, 40.0);
+}
+
+TEST(PublishedResults, AllBenchmarksHaveEntries) {
+  for (models::Benchmark b : models::AllBenchmarks()) {
+    const auto results = NvidiaV07Results(b);
+    ASSERT_FALSE(results.empty()) << models::BenchmarkName(b);
+    for (const PublishedGpuResult& r : results) {
+      EXPECT_GT(r.accelerators, 0);
+      EXPECT_GT(r.minutes, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpu::gpu

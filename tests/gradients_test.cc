@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "hlo/cost_model.h"
+#include "hlo/gradients.h"
+#include "hlo/hlo.h"
+#include "tensor/tensor.h"
+
+namespace tpu::hlo {
+namespace {
+
+using tensor::Tensor;
+
+// Checks every parameter's reverse-mode gradient against central finite
+// differences.
+void CheckGradients(const HloModule& m, const std::vector<Tensor>& params,
+                    float tolerance = 5e-2f) {
+  const ForwardBackwardResult result = EvaluateWithGradients(m, params);
+  ASSERT_EQ(result.param_grads.size(), params.size());
+  for (int p = 0; p < static_cast<int>(params.size()); ++p) {
+    const Tensor fd = FiniteDifferenceGradient(m, params, p);
+    ASSERT_EQ(result.param_grads[p].shape(), fd.shape());
+    EXPECT_LE(result.param_grads[p].MaxAbsDiff(fd), tolerance)
+        << "parameter " << p << " of " << m.name();
+  }
+}
+
+TEST(Gradients, DotChain) {
+  HloModule m("dot");
+  const auto x = m.Parameter({3, 4}, "x");
+  const auto w = m.Parameter({4, 5}, "w");
+  m.Dot(x, w);
+  CheckGradients(m, {Tensor::Random({3, 4}, 1), Tensor::Random({4, 5}, 2)});
+}
+
+TEST(Gradients, ElementwiseOps) {
+  HloModule m("ew");
+  const auto a = m.Parameter({4, 4}, "a");
+  const auto b = m.Parameter({4, 4}, "b");
+  m.Mul(m.Add(m.Scale(a, 2.0f), b), m.Sub(a, b));
+  CheckGradients(m, {Tensor::Random({4, 4}, 3), Tensor::Random({4, 4}, 4)});
+}
+
+TEST(Gradients, TanhAndExp) {
+  HloModule m("act");
+  const auto x = m.Parameter({3, 3}, "x");
+  m.Exp(m.Tanh(x));
+  CheckGradients(m, {Tensor::Random({3, 3}, 5)});
+}
+
+TEST(Gradients, ReluSubgradientAwayFromKink) {
+  HloModule m("relu");
+  const auto x = m.Parameter({16}, "x");
+  m.Relu(x);
+  // Keep values away from 0 so the finite difference is well defined.
+  Tensor v = Tensor::Random({16}, 6);
+  for (tensor::Index i = 0; i < v.num_elements(); ++i) {
+    if (std::abs(v.flat(i)) < 0.05f) v.flat(i) = 0.5f;
+  }
+  CheckGradients(m, {v});
+}
+
+TEST(Gradients, SoftmaxRows) {
+  HloModule m("softmax");
+  const auto x = m.Parameter({4, 6}, "x");
+  // Weight the softmax output so its gradient is nontrivial.
+  const auto w = m.Parameter({4, 6}, "w");
+  m.Mul(m.Softmax(x), w);
+  CheckGradients(m, {Tensor::Random({4, 6}, 7), Tensor::Random({4, 6}, 8)});
+}
+
+TEST(Gradients, ReduceSumEachAxis) {
+  for (tensor::Index axis : {0, 1}) {
+    HloModule m("reduce");
+    const auto x = m.Parameter({5, 7}, "x");
+    const auto w = m.Parameter(axis == 0 ? Shape{7} : Shape{5}, "w");
+    m.Mul(m.ReduceSum(x, axis), w);
+    CheckGradients(m, {Tensor::Random({5, 7}, 9),
+                       Tensor::Random(axis == 0 ? Shape{7} : Shape{5}, 10)});
+  }
+}
+
+TEST(Gradients, ReshapeAndTranspose) {
+  HloModule m("shape");
+  const auto x = m.Parameter({4, 6}, "x");
+  const auto w = m.Parameter({8, 3}, "w");
+  m.Mul(m.Reshape(m.Transpose(x), {8, 3}), w);
+  CheckGradients(m, {Tensor::Random({4, 6}, 11), Tensor::Random({8, 3}, 12)});
+}
+
+class ConvGradients
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(ConvGradients, MatchesFiniteDifferences) {
+  const auto [stride, same] = GetParam();
+  HloModule m("conv");
+  const auto img = m.Parameter({2, 6, 6, 2}, "img");
+  const auto k = m.Parameter({3, 3, 2, 3}, "k");
+  m.Conv2D(img, k, stride, same);
+  CheckGradients(m, {Tensor::Random({2, 6, 6, 2}, 13),
+                     Tensor::Random({3, 3, 2, 3}, 14)});
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ConvGradients,
+                         ::testing::Combine(::testing::Values(1, 2),
+                                            ::testing::Bool()));
+
+TEST(Gradients, ConvNetEndToEnd) {
+  // conv -> relu -> conv -> reduce: the spatial-partitioning workload's
+  // backward pass.
+  HloModule m("convnet");
+  const auto img = m.Parameter({1, 8, 8, 2}, "img");
+  const auto k1 = m.Parameter({3, 3, 2, 4}, "k1");
+  const auto k2 = m.Parameter({3, 3, 4, 2}, "k2");
+  const auto c1 = m.Relu(m.Conv2D(img, k1, 1, true));
+  const auto c2 = m.Conv2D(c1, k2, 2, true);
+  m.ReduceSum(c2, 3);
+  std::vector<Tensor> params{Tensor::Random({1, 8, 8, 2}, 15),
+                             Tensor::Random({3, 3, 2, 4}, 16),
+                             Tensor::Random({3, 3, 4, 2}, 17)};
+  // Nudge relu inputs away from the kink.
+  CheckGradients(m, params, 0.08f);
+}
+
+TEST(Gradients, OneHotGatherFlowsToTable) {
+  HloModule m("gather");
+  const auto onehot = m.Parameter({3, 5}, "onehot");
+  const auto data = m.Parameter({5, 4}, "data");
+  m.OneHotGather(onehot, data);
+  CheckGradients(m, {Tensor::Random({3, 5}, 18), Tensor::Random({5, 4}, 19)});
+}
+
+TEST(Gradients, MlpLossGradientsAreExact) {
+  // Two-layer MLP with an explicit scalar loss; tight tolerance.
+  HloModule m("mlp");
+  const auto x = m.Parameter({4, 6}, "x");
+  const auto w1 = m.Parameter({6, 8}, "w1");
+  const auto w2 = m.Parameter({8, 3}, "w2");
+  const auto y = m.Dot(m.Tanh(m.Dot(x, w1)), w2);
+  const auto sq = m.Mul(y, y);
+  m.ReduceSum(m.ReduceSum(sq, 1), 0);
+  CheckGradients(m,
+                 {Tensor::Random({4, 6}, 20), Tensor::Random({6, 8}, 21),
+                  Tensor::Random({8, 3}, 22)},
+                 0.05f);
+}
+
+TEST(Gradients, UnusedParameterGetsZeroGradient) {
+  HloModule m("unused");
+  const auto x = m.Parameter({2, 2}, "x");
+  const auto unused = m.Parameter({3}, "unused");
+  (void)unused;
+  m.Relu(x);
+  const auto result =
+      EvaluateWithGradients(m, {Tensor::Random({2, 2}, 23),
+                                Tensor::Random({3}, 24)});
+  ASSERT_EQ(result.param_grads.size(), 2u);
+  for (tensor::Index i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.param_grads[1].flat(i), 0.0f);
+  }
+}
+
+TEST(Gradients, TopKBlocksGradient) {
+  HloModule m("topk");
+  const auto x = m.Parameter({2, 8}, "x");
+  m.TopK(x, 3);
+  const auto result = EvaluateWithGradients(m, {Tensor::Random({2, 8}, 25)});
+  for (tensor::Index i = 0; i < 16; ++i) {
+    EXPECT_EQ(result.param_grads[0].flat(i), 0.0f);
+  }
+}
+
+TEST(Gradients, BackwardFlopsRoughlyTwiceForward) {
+  HloModule m("flops");
+  const auto x = m.Parameter({64, 128}, "x");
+  const auto w = m.Parameter({128, 96}, "w");
+  m.Dot(x, w);
+  const auto result = EvaluateWithGradients(
+      m, {Tensor::Random({64, 128}, 26), Tensor::Random({128, 96}, 27)});
+  const Flops forward = CostOf(m, m.instr(m.root())).flops;
+  EXPECT_NEAR(result.backward_flops / forward, 2.0, 0.01);
+}
+
+TEST(Gradients, LossMatchesRootSum) {
+  HloModule m("loss");
+  const auto x = m.Parameter({3, 3}, "x");
+  m.Scale(x, 2.0f);
+  const Tensor v = Tensor::Random({3, 3}, 28);
+  const auto result = EvaluateWithGradients(m, {v});
+  double expected = 0;
+  for (tensor::Index i = 0; i < v.num_elements(); ++i) {
+    expected += 2.0 * v.flat(i);
+  }
+  EXPECT_NEAR(result.loss, expected, 1e-4);
+}
+
+}  // namespace
+}  // namespace tpu::hlo

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "hlo/cost_model.h"
+#include "hlo/hlo.h"
+#include "tensor/tensor.h"
+
+namespace tpu::hlo {
+namespace {
+
+using tensor::Tensor;
+
+TEST(HloModule, BuildsAndPrints) {
+  HloModule m("mlp");
+  const auto x = m.Parameter({4, 8}, "x");
+  const auto w = m.Parameter({8, 16}, "w");
+  const auto y = m.Relu(m.Dot(x, w));
+  EXPECT_EQ(m.num_parameters(), 2);
+  EXPECT_EQ(m.root(), y);
+  EXPECT_EQ(m.instr(y).shape, (Shape{4, 16}));
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("dot"), std::string::npos);
+  EXPECT_NE(s.find("relu"), std::string::npos);
+}
+
+TEST(HloModule, ShapeInference) {
+  HloModule m("shapes");
+  const auto img = m.Parameter({2, 16, 16, 3}, "img");
+  const auto k = m.Parameter({3, 3, 3, 8}, "k");
+  const auto conv = m.Conv2D(img, k, /*stride=*/2, /*same_padding=*/true);
+  EXPECT_EQ(m.instr(conv).shape, (Shape{2, 8, 8, 8}));
+  const auto reduced = m.ReduceSum(conv, 3);
+  EXPECT_EQ(m.instr(reduced).shape, (Shape{2, 8, 8}));
+  const auto reshaped = m.Reshape(reduced, {2, 64});
+  EXPECT_EQ(m.instr(reshaped).shape, (Shape{2, 64}));
+  const auto topk = m.TopK(reshaped, 5);
+  EXPECT_EQ(m.instr(topk).shape, (Shape{2, 5}));
+}
+
+TEST(Evaluator, DotMatchesTensorMatMul) {
+  HloModule m("dot");
+  const auto a = m.Parameter({3, 4}, "a");
+  const auto b = m.Parameter({4, 5}, "b");
+  m.Dot(a, b);
+  const Tensor ta = Tensor::Random({3, 4}, 1);
+  const Tensor tb = Tensor::Random({4, 5}, 2);
+  const Tensor out = Evaluate(m, {ta, tb});
+  EXPECT_LT(out.MaxAbsDiff(tensor::MatMul(ta, tb)), 1e-6f);
+}
+
+TEST(Evaluator, MlpForwardPass) {
+  HloModule m("mlp");
+  const auto x = m.Parameter({2, 4}, "x");
+  const auto w1 = m.Parameter({4, 8}, "w1");
+  const auto w2 = m.Parameter({8, 3}, "w2");
+  const auto h = m.Relu(m.Dot(x, w1));
+  m.Softmax(m.Dot(h, w2));
+  const Tensor out = Evaluate(m, {Tensor::Random({2, 4}, 3),
+                                  Tensor::Random({4, 8}, 4),
+                                  Tensor::Random({8, 3}, 5)});
+  EXPECT_EQ(out.shape(), (std::vector<tensor::Index>{2, 3}));
+  for (tensor::Index r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (tensor::Index j = 0; j < 3; ++j) sum += out.at({r, j});
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Evaluator, ConstantAndScale) {
+  HloModule m("const");
+  const auto c = m.Constant(Tensor({2}, {1.0f, 2.0f}), "c");
+  m.Scale(c, 2.5f);
+  const Tensor out = Evaluate(m, {});
+  EXPECT_EQ(out.flat(0), 2.5f);
+  EXPECT_EQ(out.flat(1), 5.0f);
+}
+
+TEST(Evaluator, OneHotGatherSelectsRows) {
+  HloModule m("gather");
+  // Gather rows 2 and 0 from a 3x4 table via a one-hot matrix.
+  const auto onehot = m.Parameter({2, 3}, "onehot");
+  const auto data = m.Parameter({3, 4}, "data");
+  m.OneHotGather(onehot, data);
+  Tensor oh({2, 3});
+  oh.at({0, 2}) = 1.0f;
+  oh.at({1, 0}) = 1.0f;
+  const Tensor table = Tensor::Random({3, 4}, 6);
+  const Tensor out = Evaluate(m, {oh, table});
+  for (tensor::Index j = 0; j < 4; ++j) {
+    EXPECT_EQ(out.at({0, j}), table.at({2, j}));
+    EXPECT_EQ(out.at({1, j}), table.at({0, j}));
+  }
+}
+
+TEST(Evaluator, TopKReturnsSortedLargest) {
+  HloModule m("topk");
+  const auto x = m.Parameter({1, 5}, "x");
+  m.TopK(x, 3);
+  const Tensor out =
+      Evaluate(m, {Tensor({1, 5}, {3.0f, 9.0f, 1.0f, 7.0f, 5.0f})});
+  EXPECT_EQ(out.flat(0), 9.0f);
+  EXPECT_EQ(out.flat(1), 7.0f);
+  EXPECT_EQ(out.flat(2), 5.0f);
+}
+
+TEST(CostModel, DotFlopsAndBytes) {
+  HloModule m("dot");
+  const auto a = m.Parameter({128, 256}, "a");
+  const auto b = m.Parameter({256, 512}, "b");
+  const auto d = m.Dot(a, b);
+  const OpCost cost = CostOf(m, m.instr(d));
+  EXPECT_DOUBLE_EQ(cost.flops, 2.0 * 128 * 256 * 512);
+  EXPECT_TRUE(cost.uses_mxu);
+  // All dims aligned to the MXU: utilization dominated by the k-pipeline
+  // term 256/(256+128) = 2/3.
+  EXPECT_NEAR(cost.mxu_utilization, 2.0 / 3.0, 1e-9);
+}
+
+TEST(CostModel, SmallTilesWasteTheMxu) {
+  // A 1x128x128 dot uses 1/128 of the array rows.
+  EXPECT_LT(MxuUtilization(1, 128, 128), MxuUtilization(128, 128, 128));
+  EXPECT_NEAR(MxuUtilization(1, 128, 128) * 128,
+              MxuUtilization(128, 128, 128), 1e-9);
+  // Utilization is monotone in batch up to the tile size.
+  double prev = 0;
+  for (int m = 16; m <= 128; m *= 2) {
+    const double u = MxuUtilization(m, 512, 512);
+    EXPECT_GT(u, prev);
+    prev = u;
+  }
+}
+
+TEST(CostModel, ConvFlops) {
+  HloModule m("conv");
+  const auto img = m.Parameter({4, 16, 16, 8}, "img");
+  const auto k = m.Parameter({3, 3, 8, 16}, "k");
+  const auto conv = m.Conv2D(img, k, 1, true);
+  const OpCost cost = CostOf(m, m.instr(conv));
+  EXPECT_DOUBLE_EQ(cost.flops, 2.0 * 4 * 16 * 16 * 16 * 3 * 3 * 8);
+}
+
+TEST(CostModel, RooflineComputeVsMemoryBound) {
+  TpuCoreModel core;
+  core.op_overhead = 0;
+  // Compute-bound: huge flops, tiny bytes.
+  OpCost compute_bound;
+  compute_bound.flops = 1e12;
+  compute_bound.bytes = 1;
+  compute_bound.uses_mxu = true;
+  compute_bound.mxu_utilization = 1.0;
+  EXPECT_NEAR(core.SecondsFor(compute_bound), 1e12 / core.peak_mxu_flops,
+              1e-12);
+  // Memory-bound: tiny flops, huge bytes.
+  OpCost memory_bound;
+  memory_bound.flops = 1;
+  memory_bound.bytes = static_cast<Bytes>(4.5e9);
+  EXPECT_NEAR(core.SecondsFor(memory_bound), 0.01, 1e-6);
+}
+
+TEST(CostModel, ModuleCostAggregates) {
+  HloModule m("mlp");
+  const auto x = m.Parameter({64, 128}, "x");
+  const auto w = m.Parameter({128, 256}, "w");
+  m.Relu(m.Dot(x, w));
+  TpuCoreModel core;
+  const ModuleCost cost = CostOfModule(m, core);
+  EXPECT_EQ(cost.ops, 2);  // dot + relu (params free)
+  EXPECT_GT(cost.seconds, 0.0);
+  EXPECT_GE(cost.total.flops, 2.0 * 64 * 128 * 256);
+}
+
+TEST(CostModel, OneHotGatherBeatsNonContiguousGatherOnMxu) {
+  // Section 4.5: ROIAlign gathers executed as one-hot matmuls achieve linear
+  // speedups because they run on the matrix unit instead of random HBM reads.
+  TpuCoreModel core;
+  const tensor::Index rows = 512, table = 2048, width = 256;
+  HloModule m("g");
+  const auto oh = m.Parameter({rows, table}, "onehot");
+  const auto data = m.Parameter({table, width}, "data");
+  const auto g = m.OneHotGather(oh, data);
+  const SimTime mxu_time = core.SecondsFor(CostOf(m, m.instr(g)));
+  const SimTime mem_time =
+      core.SecondsFor(NonContiguousGatherCost(rows, width, 2));
+  EXPECT_LT(mxu_time, mem_time);
+}
+
+TEST(CostModel, OpCostAccumulatesWeightedUtilization) {
+  OpCost a;
+  a.flops = 100;
+  a.uses_mxu = true;
+  a.mxu_utilization = 1.0;
+  OpCost b;
+  b.flops = 100;
+  b.uses_mxu = true;
+  b.mxu_utilization = 0.5;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.mxu_utilization, 0.75);
+  EXPECT_DOUBLE_EQ(a.flops, 200);
+}
+
+}  // namespace
+}  // namespace tpu::hlo

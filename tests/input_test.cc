@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "input/dlrm_input.h"
+#include "input/host_pipeline.h"
+#include "input/sharded_dataset.h"
+#include "input/shuffle_buffer.h"
+
+namespace tpu::input {
+namespace {
+
+TEST(ShuffleBuffer, EmitsEveryElementExactlyOnce) {
+  std::vector<int> in(1000);
+  std::iota(in.begin(), in.end(), 0);
+  const std::vector<int> out = ShuffleBuffer<int>::ShuffleStream(in, 64, 7);
+  ASSERT_EQ(out.size(), in.size());
+  std::set<int> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), in.size());
+}
+
+TEST(ShuffleBuffer, ActuallyShuffles) {
+  std::vector<int> in(1000);
+  std::iota(in.begin(), in.end(), 0);
+  const std::vector<int> out = ShuffleBuffer<int>::ShuffleStream(in, 256, 8);
+  int displaced = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] != static_cast<int>(i)) ++displaced;
+  }
+  EXPECT_GT(displaced, 900);
+}
+
+TEST(ShuffleBuffer, WindowBoundsLookahead) {
+  // Emission i happens just before input (i + capacity) is pushed, so an
+  // element can never appear more than `capacity` positions early. (It CAN
+  // linger arbitrarily long — reservoirs have no lower bound.)
+  std::vector<int> in(5000);
+  std::iota(in.begin(), in.end(), 0);
+  const std::size_t capacity = 100;
+  const std::vector<int> out =
+      ShuffleBuffer<int>::ShuffleStream(in, capacity, 9);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LT(static_cast<std::size_t>(out[i]), i + capacity + 1);
+  }
+}
+
+TEST(ShuffleBuffer, BiggerBufferShufflesBetter) {
+  std::vector<int> in(10000);
+  std::iota(in.begin(), in.end(), 0);
+  auto mean_displacement = [&](std::size_t capacity) {
+    const std::vector<int> out =
+        ShuffleBuffer<int>::ShuffleStream(in, capacity, 10);
+    double total = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      total += std::abs(static_cast<double>(out[i]) - static_cast<double>(i));
+    }
+    return total / out.size();
+  };
+  EXPECT_GT(mean_displacement(4096), 4 * mean_displacement(64));
+}
+
+TEST(ShuffleBuffer, PushPopInvariants) {
+  ShuffleBuffer<int> buffer(3, 1);
+  EXPECT_TRUE(buffer.empty());
+  buffer.Push(1);
+  buffer.Push(2);
+  buffer.Push(3);
+  EXPECT_TRUE(buffer.full());
+  std::set<int> seen;
+  seen.insert(buffer.Pop());
+  seen.insert(buffer.Pop());
+  seen.insert(buffer.Pop());
+  EXPECT_EQ(seen, (std::set<int>{1, 2, 3}));
+}
+
+TEST(BertShuffle, ShuffleThenRepeatCoversTheDataset) {
+  BertShuffleConfig config;
+  config.num_files = 100;
+  config.sequences_per_file = 100;
+  config.num_hosts = 20;
+  config.shuffle_buffer_size = 500;
+  config.order = StageOrder::kShuffleThenRepeat;
+  // Within the buffer-mixing window, one epoch of draws cannot cover
+  // everything; two epochs must.
+  config.epochs_to_draw = 2;
+  const BertShuffleStats stats = MeasureBertShuffle(config, 3, 42);
+  EXPECT_GT(stats.sequence_coverage, 0.95);
+}
+
+TEST(BertShuffle, SmallBufferRepeatThenShuffleIsBiased) {
+  BertShuffleConfig base;
+  base.num_files = 100;
+  base.sequences_per_file = 100;
+  base.num_hosts = 20;
+
+  BertShuffleConfig good = base;
+  good.shuffle_buffer_size = 2000;
+  good.order = StageOrder::kShuffleThenRepeat;
+
+  BertShuffleConfig bad = base;
+  bad.shuffle_buffer_size = 50;
+  bad.order = StageOrder::kRepeatThenShuffle;
+
+  const BertShuffleStats good_stats = MeasureBertShuffle(good, 3, 42);
+  const BertShuffleStats bad_stats = MeasureBertShuffle(bad, 3, 42);
+  // Small-buffer fixed-order batches are dominated by file neighborhoods:
+  // much larger per-batch bias than uniform sampling.
+  EXPECT_GT(bad_stats.batch_bias_ratio, 3 * good_stats.batch_bias_ratio);
+}
+
+TEST(BertShuffle, LargerSequenceBufferReducesBias) {
+  BertShuffleConfig config;
+  config.num_files = 100;
+  config.sequences_per_file = 100;
+  config.num_hosts = 20;
+  config.order = StageOrder::kShuffleThenRepeat;
+  config.shuffle_buffer_size = 20;
+  const double small = MeasureBertShuffle(config, 3, 7).batch_bias_ratio;
+  config.shuffle_buffer_size = 2000;
+  const double large = MeasureBertShuffle(config, 3, 7).batch_bias_ratio;
+  EXPECT_LT(large, small);
+}
+
+TEST(HostPipeline, UncompressedCacheEliminatesStalls) {
+  HostPipelineConfig config;
+  config.num_hosts = 128;
+  config.steps = 100;
+  config.per_host_batch = 16;
+  config.device_step = Millis(2.0);
+
+  config.uncompressed_cache = false;
+  const HostPipelineStats jpeg = SimulateHostPipeline(config, 11);
+  config.uncompressed_cache = true;
+  const HostPipelineStats cached = SimulateHostPipeline(config, 11);
+
+  EXPECT_GT(jpeg.stall_fraction, 0.05);
+  EXPECT_LT(cached.stall_fraction, 0.01);
+  EXPECT_LT(cached.total_train_time, jpeg.total_train_time);
+}
+
+TEST(HostPipeline, StallsGrowWithScale) {
+  // More hosts -> higher chance some host hits a decode tail each step.
+  HostPipelineConfig config;
+  config.steps = 100;
+  config.per_host_batch = 16;
+  config.device_step = Millis(2.0);
+  config.prefetch_capacity = 2;  // small buffer exposes the imbalance
+  config.num_hosts = 4;
+  const double small = SimulateHostPipeline(config, 12).stall_fraction;
+  config.num_hosts = 256;
+  const double large = SimulateHostPipeline(config, 12).stall_fraction;
+  EXPECT_GE(large, small);
+}
+
+TEST(HostPipeline, PrefetchBufferAbsorbsVariance) {
+  HostPipelineConfig config;
+  config.num_hosts = 64;
+  config.steps = 200;
+  config.per_host_batch = 16;
+  config.device_step = Millis(3.0);
+  config.prefetch_capacity = 1;
+  const double tiny = SimulateHostPipeline(config, 13).stall_fraction;
+  config.prefetch_capacity = 64;
+  const double big = SimulateHostPipeline(config, 13).stall_fraction;
+  EXPECT_LE(big, tiny);
+}
+
+TEST(HostPipeline, WorstBatchReflectsHeavyTail) {
+  HostPipelineConfig config;
+  config.num_hosts = 64;
+  config.steps = 50;
+  const HostPipelineStats stats = SimulateHostPipeline(config, 14);
+  // The worst batch should be far beyond the mean decode time x batch /
+  // threads (the tail), but finite.
+  EXPECT_GT(stats.worst_batch_seconds, Millis(4.0));
+  EXPECT_LT(stats.worst_batch_seconds, Seconds(10.0));
+}
+
+TEST(DlrmInput, BatchGranularityParsingIsMuchFaster) {
+  DlrmInputConfig config;
+  const SimTime per_sample = DlrmParseSeconds(config, false);
+  const SimTime per_batch = DlrmParseSeconds(config, true);
+  EXPECT_GT(per_sample, per_batch * 2);
+}
+
+TEST(DlrmInput, StackedPcieTransferAmortizesOverheads) {
+  DlrmInputConfig config;
+  const SimTime separate = DlrmPcieSeconds(config, false);
+  const SimTime stacked = DlrmPcieSeconds(config, true);
+  EXPECT_GT(separate, stacked);
+  // 40 features: 39 extra per-transfer overheads.
+  EXPECT_NEAR(separate - stacked,
+              config.per_transfer_overhead * (config.num_features - 1),
+              1e-9);
+}
+
+TEST(DlrmInput, MultiStepEvalHidesHostRoundTrips) {
+  const SimTime one_per_trip =
+      DlrmEvalSeconds(1000, 1, Micros(500), Millis(2.0));
+  const SimTime hundred_per_trip =
+      DlrmEvalSeconds(1000, 100, Micros(500), Millis(2.0));
+  EXPECT_GT(one_per_trip, hundred_per_trip * 3);
+}
+
+}  // namespace
+}  // namespace tpu::input

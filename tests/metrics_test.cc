@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "metrics/auc.h"
+#include "metrics/distributed_eval.h"
+
+namespace tpu::metrics {
+namespace {
+
+struct Dataset {
+  std::vector<float> scores;
+  std::vector<std::uint8_t> labels;
+};
+
+Dataset MakeDataset(std::size_t n, double signal, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.scores.resize(n);
+  data.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = rng.NextDouble() < 0.3;
+    data.labels[i] = positive;
+    data.scores[i] = static_cast<float>(rng.NextGaussian() +
+                                        (positive ? signal : 0.0));
+  }
+  return data;
+}
+
+TEST(Auc, PerfectSeparationIsOne) {
+  const std::vector<float> scores{0.9f, 0.8f, 0.2f, 0.1f};
+  const std::vector<std::uint8_t> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(AucNaive(scores, labels), 1.0);
+}
+
+TEST(Auc, InvertedSeparationIsZero) {
+  const std::vector<float> scores{0.1f, 0.2f, 0.8f, 0.9f};
+  const std::vector<std::uint8_t> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(AucNaive(scores, labels), 0.0);
+}
+
+TEST(Auc, AllTiedScoresGiveHalf) {
+  const std::vector<float> scores{0.5f, 0.5f, 0.5f, 0.5f};
+  const std::vector<std::uint8_t> labels{1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(AucNaive(scores, labels), 0.5);
+  ThreadPool pool(4);
+  EXPECT_DOUBLE_EQ(AucFast(scores, labels, pool), 0.5);
+}
+
+TEST(Auc, DegenerateSingleClassIsHalf) {
+  const std::vector<float> scores{0.1f, 0.9f};
+  const std::vector<std::uint8_t> all_pos{1, 1};
+  const std::vector<std::uint8_t> all_neg{0, 0};
+  ThreadPool pool(2);
+  EXPECT_DOUBLE_EQ(AucNaive(scores, all_pos), 0.5);
+  EXPECT_DOUBLE_EQ(AucNaive(scores, all_neg), 0.5);
+  EXPECT_DOUBLE_EQ(AucFast(scores, all_pos, pool), 0.5);
+  EXPECT_DOUBLE_EQ(AucFast({}, {}, pool), 0.5);
+}
+
+TEST(Auc, KnownSmallCase) {
+  // scores: 0.8(+), 0.6(-), 0.4(+), 0.2(-): pairs (p, n):
+  // (0.8 vs 0.6): win, (0.8 vs 0.2): win, (0.4 vs 0.6): loss,
+  // (0.4 vs 0.2): win -> AUC = 3/4.
+  const std::vector<float> scores{0.8f, 0.6f, 0.4f, 0.2f};
+  const std::vector<std::uint8_t> labels{1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(AucNaive(scores, labels), 0.75);
+  ThreadPool pool(2);
+  EXPECT_DOUBLE_EQ(AucFast(scores, labels, pool), 0.75);
+}
+
+TEST(Auc, TieHandlingCountsHalf) {
+  // One positive and one negative tied: the pair counts 1/2.
+  const std::vector<float> scores{0.5f, 0.5f};
+  const std::vector<std::uint8_t> labels{1, 0};
+  EXPECT_DOUBLE_EQ(AucNaive(scores, labels), 0.5);
+}
+
+class AucAgreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AucAgreement, FastMatchesNaive) {
+  const Dataset data = MakeDataset(GetParam(), 0.8, 99 + GetParam());
+  ThreadPool pool(8);
+  const double naive = AucNaive(data.scores, data.labels);
+  const double fast = AucFast(data.scores, data.labels, pool);
+  EXPECT_NEAR(fast, naive, 1e-12);
+  if (GetParam() >= 100) {
+    EXPECT_GT(naive, 0.6);  // signal present
+    EXPECT_LT(naive, 0.9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AucAgreement,
+                         ::testing::Values(1, 2, 3, 100, 1000, 12345, 100000));
+
+TEST(Auc, QuantizedScoresProduceManyTies) {
+  // pCTR models emit quantized scores; heavy ties stress the tie path.
+  Dataset data = MakeDataset(50000, 1.0, 5);
+  for (float& s : data.scores) s = std::round(s * 4) / 4;
+  ThreadPool pool(8);
+  EXPECT_NEAR(AucFast(data.scores, data.labels, pool),
+              AucNaive(data.scores, data.labels), 1e-12);
+}
+
+TEST(DistributedEval, PaddingDoesNotChangeAccuracy) {
+  EvalShard shard;
+  shard.correct = {1, 0, 1, 1};
+  shard.is_real = {1, 1, 1, 1};
+  const AccuracyParts before = LocalAccuracy(shard);
+  const EvalShard padded = PadShard(shard, 16);
+  const AccuracyParts after = LocalAccuracy(padded);
+  EXPECT_EQ(before.correct, after.correct);
+  EXPECT_EQ(before.total, after.total);
+  EXPECT_DOUBLE_EQ(after.accuracy(), 0.75);
+}
+
+TEST(DistributedEval, CombineMatchesGlobalComputation) {
+  Rng rng(3);
+  std::vector<AccuracyParts> parts;
+  std::int64_t global_correct = 0, global_total = 0;
+  for (int w = 0; w < 64; ++w) {
+    EvalShard shard;
+    for (int i = 0; i < 100; ++i) {
+      shard.correct.push_back(rng.NextDouble() < 0.7);
+      shard.is_real.push_back(rng.NextDouble() < 0.9);
+    }
+    const AccuracyParts local = LocalAccuracy(shard);
+    global_correct += local.correct;
+    global_total += local.total;
+    parts.push_back(local);
+  }
+  const AccuracyParts combined = CombineAccuracy(parts);
+  EXPECT_EQ(combined.correct, global_correct);
+  EXPECT_EQ(combined.total, global_total);
+}
+
+TEST(EvalSchedule, SingleWorkerQueues) {
+  // 4 evals every 1 s, each takes 3 s, one worker: completions at 3, 6, 9,
+  // 12.
+  EXPECT_DOUBLE_EQ(EvalScheduleSpan(4, 1.0, 3.0, 1), 12.0);
+}
+
+TEST(EvalSchedule, RoundRobinOverlaps) {
+  // Same load over 4 workers: each handles one eval; last completes at
+  // dispatch(3) + 3 = 6.
+  EXPECT_DOUBLE_EQ(EvalScheduleSpan(4, 1.0, 3.0, 4), 6.0);
+  EXPECT_LT(EvalScheduleSpan(16, 1.0, 3.0, 8), EvalScheduleSpan(16, 1.0, 3.0, 1));
+}
+
+TEST(EvalSchedule, FastEvalsNeverQueue) {
+  // Eval cost below the interval: span = last dispatch + cost regardless of
+  // worker count.
+  EXPECT_DOUBLE_EQ(EvalScheduleSpan(10, 2.0, 0.5, 1), 9 * 2.0 + 0.5);
+  EXPECT_DOUBLE_EQ(EvalScheduleSpan(10, 2.0, 0.5, 4), 9 * 2.0 + 0.5);
+}
+
+}  // namespace
+}  // namespace tpu::metrics

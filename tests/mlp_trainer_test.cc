@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "optim/mlp_trainer.h"
+#include "optim/optimizer.h"
+
+namespace tpu::optim {
+namespace {
+
+TEST(MlpTrainer, SgdConvergesAtSmallBatch) {
+  MomentumSgdConfig config;
+  config.learning_rate = 0.02f;
+  auto sgd = MakeMomentumSgd(config);
+  MlpTrainer trainer({});
+  const TrainResult result = sgd ? trainer.Train(*sgd, 32, 150) : TrainResult{};
+  EXPECT_FALSE(result.diverged);
+  EXPECT_LT(result.final_loss, result.initial_loss * 0.1);
+}
+
+TEST(MlpTrainer, LinearlyScaledSgdDivergesAtLargeBatch) {
+  // The failure mode that motivates LARS/LAMB: scale batch 32 -> 2048 and
+  // the learning rate linearly with it; plain momentum SGD blows up.
+  MomentumSgdConfig config;
+  config.learning_rate = 0.02f * (2048 / 32);
+  auto sgd = MakeMomentumSgd(config);
+  MlpTrainer trainer({});
+  const TrainResult result = trainer.Train(*sgd, 2048, 150);
+  EXPECT_TRUE(result.diverged);
+}
+
+TEST(MlpTrainer, LambConvergesAcrossBatchSizesWithoutRetuning) {
+  // Section 4.1: "Thanks to the LAMB optimizer, BERT can scale very well to
+  // large batch sizes" — the trust ratio makes the same hyperparameters work
+  // from batch 32 to 4096.
+  for (std::int64_t batch : {32, 512, 4096}) {
+    LambConfig config;
+    config.learning_rate = 0.02f;
+    config.weight_decay = 0.0f;
+    auto lamb = MakeLamb(config);
+    MlpTrainer trainer({});
+    const TrainResult result = trainer.Train(*lamb, batch, 150);
+    EXPECT_FALSE(result.diverged) << "batch " << batch;
+    EXPECT_LT(result.final_loss, result.initial_loss * 0.05)
+        << "batch " << batch;
+  }
+}
+
+TEST(MlpTrainer, LarsConvergesAtLargeBatch) {
+  LarsConfig config;
+  config.learning_rate = 1.0f;
+  config.trust_coefficient = 0.02f;
+  config.weight_decay = 0.0f;
+  auto lars = MakeLars(config);
+  MlpTrainer trainer({});
+  const TrainResult result = trainer.Train(*lars, 4096, 150);
+  EXPECT_FALSE(result.diverged);
+  EXPECT_LT(result.final_loss, result.initial_loss * 0.01);
+}
+
+TEST(MlpTrainer, LargerBatchImprovesLambFinalLoss) {
+  // More examples per gradient -> cleaner gradients at fixed step count.
+  auto run = [](std::int64_t batch) {
+    LambConfig config;
+    config.learning_rate = 0.02f;
+    config.weight_decay = 0.0f;
+    auto lamb = MakeLamb(config);
+    MlpTrainer trainer({});
+    return trainer.Train(*lamb, batch, 150).final_loss;
+  };
+  EXPECT_LT(run(4096), run(32));
+}
+
+TEST(MlpTrainer, LossCurveIsRecorded) {
+  MomentumSgdConfig config;
+  config.learning_rate = 0.02f;
+  auto sgd = MakeMomentumSgd(config);
+  MlpTrainer trainer({});
+  const TrainResult result = trainer.Train(*sgd, 64, 40);
+  EXPECT_EQ(result.loss_curve.size(), 40u);
+  EXPECT_GT(result.loss_curve.front(), result.loss_curve.back());
+}
+
+TEST(MlpTrainer, DeterministicAcrossRuns) {
+  auto run = [] {
+    LambConfig config;
+    auto lamb = MakeLamb(config);
+    MlpTrainer trainer({});
+    return trainer.Train(*lamb, 64, 30).final_loss;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace tpu::optim

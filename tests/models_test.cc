@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "hlo/cost_model.h"
+#include "models/blocks.h"
+#include "models/model_specs.h"
+#include "spmd/spmd.h"
+#include "tensor/tensor.h"
+
+namespace tpu::models {
+namespace {
+
+TEST(ModelSpecs, AllBenchmarksHaveSpecs) {
+  for (Benchmark b : AllBenchmarks()) {
+    const ModelSpec& spec = GetModelSpec(b);
+    EXPECT_EQ(spec.benchmark, b);
+    EXPECT_GT(spec.parameters, 0) << spec.name;
+    EXPECT_GT(spec.flops_per_example, 0) << spec.name;
+    EXPECT_GT(spec.max_global_batch, 0) << spec.name;
+    EXPECT_GT(spec.reference_examples_to_converge, 0) << spec.name;
+    EXPECT_EQ(spec.name, BenchmarkName(b));
+  }
+}
+
+TEST(ModelSpecs, ResNetEpochsDoubleFrom4KTo64K) {
+  // The paper: 44 epochs at batch 4K, 88 at 64K (Section 5).
+  const ModelSpec& spec = GetModelSpec(Benchmark::kResNet50);
+  EXPECT_NEAR(spec.EpochsToConverge(4096), 44.0, 0.5);
+  EXPECT_NEAR(spec.EpochsToConverge(65536), 88.0, 1.0);
+  // Below the reference batch, epochs stay flat (perfect scaling regime).
+  EXPECT_NEAR(spec.EpochsToConverge(1024), 44.0, 0.5);
+}
+
+TEST(ModelSpecs, StepsShrinkWithBatchDespitePenalty) {
+  const ModelSpec& spec = GetModelSpec(Benchmark::kResNet50);
+  std::int64_t prev_steps = spec.StepsToConverge(1024);
+  for (std::int64_t batch = 2048; batch <= 65536; batch *= 2) {
+    const std::int64_t steps = spec.StepsToConverge(batch);
+    EXPECT_LT(steps, prev_steps) << "batch " << batch;
+    prev_steps = steps;
+  }
+}
+
+TEST(ModelSpecs, TransformerBatchIsCapped) {
+  const ModelSpec& spec = GetModelSpec(Benchmark::kTransformer);
+  EXPECT_EQ(spec.max_global_batch, 2048);
+  EXPECT_EQ(spec.kind, ParallelismKind::kFeatureSharded);
+  EXPECT_EQ(spec.max_model_parallel_cores, 4);
+  EXPECT_DEATH((void)spec.StepsToConverge(4096), "does not converge");
+}
+
+TEST(ModelSpecs, DlrmHasPartitionedEmbeddings) {
+  const ModelSpec& spec = GetModelSpec(Benchmark::kDlrm);
+  EXPECT_GT(spec.embedding_parameters, 1'000'000'000);
+  // The embeddings cannot fit a single chip's 32 GiB HBM (the "necessary to
+  // run the model" claim of Section 4.6).
+  EXPECT_GT(spec.embedding_parameters * 4, 32LL * 1024 * 1024 * 1024);
+  EXPECT_EQ(spec.eval_examples, 90'000'000);
+}
+
+TEST(ModelSpecs, SubmissionScalesMatchPaper) {
+  EXPECT_EQ(GetSubmissionScale(Benchmark::kBert).chips, 4096);
+  EXPECT_EQ(GetSubmissionScale(Benchmark::kResNet50).global_batch, 65536);
+  EXPECT_EQ(GetSubmissionScale(Benchmark::kMaskRcnn).chips, 512);
+  EXPECT_EQ(GetSubmissionScale(Benchmark::kDlrm).chips, 256);
+  EXPECT_EQ(GetSubmissionScale(Benchmark::kSsd).model_parallel_cores, 8);
+  EXPECT_EQ(GetSubmissionScale(Benchmark::kTransformer).model_parallel_cores,
+            4);
+}
+
+TEST(ModelSpecs, V06BaselinesExistForReturningModels) {
+  EXPECT_GT(MlperfV06Minutes(Benchmark::kResNet50), 0);
+  EXPECT_GT(MlperfV06Minutes(Benchmark::kMaskRcnn), 0);
+  EXPECT_EQ(MlperfV06Minutes(Benchmark::kBert), 0);  // new in v0.7
+  EXPECT_EQ(MlperfV06Minutes(Benchmark::kDlrm), 0);
+}
+
+TEST(Blocks, TransformerBlockPartitionsWithTwoAllReduces) {
+  ShardableBlock block = TransformerBlock(/*tokens=*/64, /*hidden=*/32,
+                                          /*ff=*/128);
+  const spmd::PartitionedModule pm =
+      spmd::Partition(block.module, block.shardings, 4);
+  int allreduce = 0, allgather = 0;
+  for (const spmd::CommEvent& event : pm.comm_events()) {
+    if (event.kind == spmd::CommEvent::Kind::kAllReduce) ++allreduce;
+    if (event.kind == spmd::CommEvent::Kind::kAllGather) ++allgather;
+  }
+  EXPECT_EQ(allreduce, 2);  // output projection + FFN second matmul
+  EXPECT_EQ(allgather, 0) << pm.ToString();
+}
+
+TEST(Blocks, TransformerBlockNumericEquivalence) {
+  ShardableBlock block = TransformerBlock(/*tokens=*/16, /*hidden=*/8,
+                                          /*ff=*/32);
+  std::vector<tensor::Tensor> params;
+  int seed = 1;
+  for (const hlo::HloInstruction& instr : block.module.instructions()) {
+    if (instr.opcode == hlo::Opcode::kParameter) {
+      params.push_back(tensor::Tensor::Random(instr.shape, seed++));
+    }
+  }
+  const tensor::Tensor reference = hlo::Evaluate(block.module, params);
+  const auto pm = spmd::Partition(block.module, block.shardings, 4);
+  const auto exec = spmd::ExecutePartitioned(pm, params);
+  EXPECT_LE(exec.full_root.MaxAbsDiff(reference), 1e-4f);
+}
+
+TEST(Blocks, SsdBlockNumericEquivalence) {
+  ShardableBlock block = SsdBackboneBlock(/*batch=*/1, /*image=*/24);
+  std::vector<tensor::Tensor> params;
+  int seed = 10;
+  for (const hlo::HloInstruction& instr : block.module.instructions()) {
+    if (instr.opcode == hlo::Opcode::kParameter) {
+      params.push_back(tensor::Tensor::Random(instr.shape, seed++));
+    }
+  }
+  const tensor::Tensor reference = hlo::Evaluate(block.module, params);
+  const auto pm = spmd::Partition(block.module, block.shardings, 4);
+  const auto exec = spmd::ExecutePartitioned(pm, params);
+  ASSERT_EQ(exec.full_root.shape(), reference.shape());
+  EXPECT_LE(exec.full_root.MaxAbsDiff(reference), 1e-3f);
+  EXPECT_GT(exec.halo_bytes, 0);  // spatial partitioning exchanged halos
+}
+
+TEST(Blocks, MaskRcnnBlockNumericEquivalence) {
+  ShardableBlock block = MaskRcnnBlock(/*batch=*/1, /*image=*/32, /*rois=*/16);
+  std::vector<tensor::Tensor> params;
+  int seed = 20;
+  for (const hlo::HloInstruction& instr : block.module.instructions()) {
+    if (instr.opcode == hlo::Opcode::kParameter) {
+      params.push_back(tensor::Tensor::Random(instr.shape, seed++));
+    }
+  }
+  const tensor::Tensor reference = hlo::Evaluate(block.module, params);
+  const auto pm = spmd::Partition(block.module, block.shardings, 2);
+  const auto exec = spmd::ExecutePartitioned(pm, params);
+  EXPECT_LE(exec.full_root.MaxAbsDiff(reference), 1e-4f);
+}
+
+TEST(Blocks, SsdComputeSplitsNearLinearlyEarlyOn) {
+  // At the default 300x300 size most FLOPs are in the big early layers, so
+  // 2-way partitioning should nearly halve per-partition compute.
+  ShardableBlock block = SsdBackboneBlock();
+  hlo::TpuCoreModel core;
+  core.op_overhead = 0;
+  const auto c1 = spmd::CostOfPartitioned(
+      spmd::Partition(block.module, block.shardings, 1), core);
+  const auto c2 = spmd::CostOfPartitioned(
+      spmd::Partition(block.module, block.shardings, 2), core);
+  EXPECT_LT(c2.compute.flops, c1.compute.flops * 0.58);
+  EXPECT_GT(c2.compute.flops, c1.compute.flops * 0.45);
+}
+
+}  // namespace
+}  // namespace tpu::models

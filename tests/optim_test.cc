@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "optim/optimizer.h"
+#include "optim/weight_update_sharding.h"
+
+namespace tpu::optim {
+namespace {
+
+std::vector<float> RandomVec(std::size_t n, std::uint64_t seed, double lo = -1,
+                             double hi = 1) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.NextUniform(lo, hi));
+  return v;
+}
+
+double Norm(const std::vector<float>& v) {
+  double s = 0;
+  for (float x : v) s += static_cast<double>(x) * x;
+  return std::sqrt(s);
+}
+
+TEST(MomentumSgd, FirstStepIsPlainGradientStep) {
+  MomentumSgdConfig config;
+  config.learning_rate = 0.1f;
+  auto opt = MakeMomentumSgd(config);
+  std::vector<float> w{1.0f, 2.0f};
+  std::vector<float> g{0.5f, -1.0f};
+  SlotState state;
+  opt->Step(w, g, state, 0);
+  EXPECT_NEAR(w[0], 1.0f - 0.1f * 0.5f, 1e-7f);
+  EXPECT_NEAR(w[1], 2.0f + 0.1f, 1e-7f);
+}
+
+TEST(MomentumSgd, MomentumAccumulates) {
+  MomentumSgdConfig config;
+  config.learning_rate = 1.0f;
+  config.momentum = 0.5f;
+  auto opt = MakeMomentumSgd(config);
+  std::vector<float> w{0.0f};
+  std::vector<float> g{1.0f};
+  SlotState state;
+  opt->Step(w, g, state, 0);  // m=1, w=-1
+  EXPECT_NEAR(w[0], -1.0f, 1e-7f);
+  opt->Step(w, g, state, 1);  // m=1.5, w=-2.5
+  EXPECT_NEAR(w[0], -2.5f, 1e-7f);
+}
+
+TEST(MomentumSgd, ConvergesOnQuadratic) {
+  // f(w) = 0.5 * ||w||^2, gradient = w.
+  MomentumSgdConfig config;
+  config.learning_rate = 0.1f;
+  auto opt = MakeMomentumSgd(config);
+  std::vector<float> w = RandomVec(16, 1);
+  SlotState state;
+  const double initial = Norm(w);
+  for (int step = 0; step < 200; ++step) {
+    std::vector<float> g = w;
+    opt->Step(w, g, state, step);
+  }
+  EXPECT_LT(Norm(w), initial * 1e-3);
+}
+
+TEST(Lars, UpdateMagnitudeTracksWeightNorm) {
+  // With the trust ratio, the first-step update magnitude is
+  // lr * eta * ||w|| (wd = 0), independent of gradient magnitude.
+  LarsConfig config;
+  config.learning_rate = 1.0f;
+  config.trust_coefficient = 0.01f;
+  config.weight_decay = 0.0f;
+  config.momentum = 0.0f;
+  auto opt = MakeLars(config);
+  for (double gscale : {0.01, 1.0, 100.0}) {
+    std::vector<float> w = RandomVec(64, 2);
+    const double w_norm = Norm(w);
+    std::vector<float> g = RandomVec(64, 3, -gscale, gscale);
+    std::vector<float> w_before = w;
+    SlotState state;
+    opt->Step(w, g, state, 0);
+    std::vector<float> delta(64);
+    for (int i = 0; i < 64; ++i) delta[i] = w[i] - w_before[i];
+    EXPECT_NEAR(Norm(delta), 0.01 * w_norm, 0.01 * w_norm * 1e-4)
+        << "gscale=" << gscale;
+  }
+}
+
+TEST(Lars, GradientScaleInvariantWithoutWeightDecay) {
+  // Scaling all gradients by a constant must not change the LARS update
+  // (wd = 0) — the property that makes it robust at huge batch sizes.
+  LarsConfig config;
+  config.weight_decay = 0.0f;
+  auto opt_a = MakeLars(config);
+  auto opt_b = MakeLars(config);
+  std::vector<float> wa = RandomVec(32, 4), wb = wa;
+  SlotState sa, sb;
+  for (int step = 0; step < 5; ++step) {
+    std::vector<float> g = RandomVec(32, 100 + step);
+    std::vector<float> g_scaled = g;
+    for (float& x : g_scaled) x *= 1000.0f;
+    opt_a->Step(wa, g, sa, step);
+    opt_b->Step(wb, g_scaled, sb, step);
+  }
+  for (int i = 0; i < 32; ++i) EXPECT_NEAR(wa[i], wb[i], 1e-5f);
+}
+
+TEST(Lamb, FirstStepMagnitudeIsTrustScaled) {
+  // At step 0 with wd = 0, the Adam direction is elementwise sign-like
+  // (|mhat/sqrt(vhat)| ~= 1), and the trust ratio rescales it to ||w||.
+  LambConfig config;
+  config.learning_rate = 0.5f;
+  config.weight_decay = 0.0f;
+  auto opt = MakeLamb(config);
+  std::vector<float> w = RandomVec(128, 5);
+  const double w_norm = Norm(w);
+  std::vector<float> w_before = w;
+  std::vector<float> g = RandomVec(128, 6);
+  SlotState state;
+  opt->Step(w, g, state, 0);
+  std::vector<float> delta(128);
+  for (int i = 0; i < 128; ++i) delta[i] = w[i] - w_before[i];
+  EXPECT_NEAR(Norm(delta), 0.5 * w_norm, 0.5 * w_norm * 1e-3);
+}
+
+TEST(Lamb, GradientScaleInvariantAtFirstStep) {
+  LambConfig config;
+  config.weight_decay = 0.0f;
+  auto opt_a = MakeLamb(config);
+  auto opt_b = MakeLamb(config);
+  std::vector<float> wa = RandomVec(32, 7), wb = wa;
+  std::vector<float> g = RandomVec(32, 8);
+  std::vector<float> g_scaled = g;
+  for (float& x : g_scaled) x *= 64.0f;
+  SlotState sa, sb;
+  opt_a->Step(wa, g, sa, 0);
+  opt_b->Step(wb, g_scaled, sb, 0);
+  for (int i = 0; i < 32; ++i) EXPECT_NEAR(wa[i], wb[i], 1e-4f);
+}
+
+TEST(Lamb, ConvergesOnQuadratic) {
+  LambConfig config;
+  config.learning_rate = 0.05f;
+  config.weight_decay = 0.0f;
+  auto opt = MakeLamb(config);
+  std::vector<float> w = RandomVec(16, 9);
+  SlotState state;
+  const double initial = Norm(w);
+  for (int step = 0; step < 300; ++step) {
+    std::vector<float> g = w;
+    opt->Step(w, g, state, step);
+  }
+  EXPECT_LT(Norm(w), initial * 0.05);
+}
+
+TEST(UpdateCosts, AreOrderedByComplexity) {
+  auto sgd = MakeMomentumSgd({});
+  auto lars = MakeLars({});
+  auto lamb = MakeLamb({});
+  EXPECT_LT(sgd->update_cost().flops_per_element,
+            lars->update_cost().flops_per_element);
+  EXPECT_LT(lars->update_cost().flops_per_element,
+            lamb->update_cost().flops_per_element);
+  EXPECT_GT(sgd->update_cost().bytes_per_element, 0);
+}
+
+// --- weight-update sharding equivalence ------------------------------------
+
+class WusEquivalence : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  // Builds both trainers, runs `steps` identical steps, returns max |diff|.
+  float RunBoth(Optimizer* opt_a, Optimizer* opt_b, int num_replicas,
+                std::int64_t num_params, int steps) {
+    DistributedTrainer replicated(opt_a, num_replicas, num_params,
+                                  UpdateScheme::kReplicated);
+    DistributedTrainer sharded(opt_b, num_replicas, num_params,
+                               UpdateScheme::kWeightUpdateSharding);
+    for (int s = 0; s < steps; ++s) {
+      std::vector<std::vector<float>> grads;
+      for (int r = 0; r < num_replicas; ++r) {
+        grads.push_back(RandomVec(num_params, 1000 + s * 64 + r));
+      }
+      replicated.Step(grads);
+      sharded.Step(grads);
+    }
+    EXPECT_EQ(replicated.MaxReplicaDivergence(), 0.0f);
+    EXPECT_EQ(sharded.MaxReplicaDivergence(), 0.0f);
+    float max_diff = 0.0f;
+    for (std::int64_t i = 0; i < num_params; ++i) {
+      max_diff = std::max(max_diff,
+                          std::abs(replicated.weights(0)[i] -
+                                   sharded.weights(0)[i]));
+    }
+    return max_diff;
+  }
+};
+
+TEST_P(WusEquivalence, MomentumSgdShardedMatchesReplicated) {
+  const auto [replicas, params] = GetParam();
+  auto a = MakeMomentumSgd({});
+  auto b = MakeMomentumSgd({});
+  EXPECT_LE(RunBoth(a.get(), b.get(), replicas, params, 5), 1e-6f);
+}
+
+TEST_P(WusEquivalence, LarsShardedMatchesReplicated) {
+  const auto [replicas, params] = GetParam();
+  auto a = MakeLars({});
+  auto b = MakeLars({});
+  EXPECT_LE(RunBoth(a.get(), b.get(), replicas, params, 5), 1e-5f);
+}
+
+TEST_P(WusEquivalence, LambShardedMatchesReplicated) {
+  const auto [replicas, params] = GetParam();
+  auto a = MakeLamb({});
+  auto b = MakeLamb({});
+  EXPECT_LE(RunBoth(a.get(), b.get(), replicas, params, 5), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardShapes, WusEquivalence,
+    ::testing::Combine(::testing::Values(2, 4, 7, 16),     // replicas
+                       ::testing::Values(64, 1000, 4096)));  // params
+
+TEST(WeightUpdateSeconds, ScalesWithShardSize) {
+  auto lamb = MakeLamb({});
+  const double flops = 1.5e12, bw = 450e9;
+  const SimTime full = WeightUpdateSeconds(*lamb, 1'000'000, flops, bw);
+  const SimTime shard = WeightUpdateSeconds(*lamb, 1'000'000 / 512, flops, bw);
+  EXPECT_NEAR(full / shard, 512.0, 1.0);
+  // LAMB on 300M params (BERT-large-ish) should be milliseconds —
+  // significant against a ~10 ms step, as the paper's 18% indicates.
+  const SimTime bert = WeightUpdateSeconds(*lamb, 300'000'000, flops, bw);
+  EXPECT_GT(bert, Millis(1));
+  EXPECT_LT(bert, Seconds(1));
+}
+
+}  // namespace
+}  // namespace tpu::optim

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "hlo/cost_model.h"
+#include "hlo/hlo.h"
+#include "hlo/passes.h"
+#include "tensor/tensor.h"
+
+namespace tpu::hlo {
+namespace {
+
+using tensor::Tensor;
+
+// Random-input semantic equivalence between two modules with the same
+// parameter signature.
+void ExpectEquivalent(const HloModule& a, const HloModule& b,
+                      std::uint64_t seed, float tolerance = 1e-4f) {
+  ASSERT_EQ(a.num_parameters(), b.num_parameters());
+  std::vector<Tensor> params;
+  int s = 0;
+  for (const HloInstruction& instr : a.instructions()) {
+    if (instr.opcode == Opcode::kParameter) {
+      params.push_back(Tensor::Random(instr.shape, seed + s++));
+    }
+  }
+  const Tensor va = Evaluate(a, params);
+  const Tensor vb = Evaluate(b, params);
+  ASSERT_EQ(va.shape(), vb.shape());
+  EXPECT_LE(va.MaxAbsDiff(vb), tolerance);
+}
+
+TEST(Dce, RemovesUnreachableOps) {
+  HloModule m("dead");
+  const auto x = m.Parameter({4, 4}, "x");
+  const auto dead1 = m.Tanh(x);
+  const auto dead2 = m.Exp(dead1);
+  (void)dead2;
+  m.Relu(x);  // root
+  int removed = 0;
+  const HloModule clean = EliminateDeadCode(m, &removed);
+  EXPECT_EQ(removed, 2);
+  EXPECT_EQ(clean.instructions().size(), 2u);  // param + relu
+  ExpectEquivalent(m, clean, 1);
+}
+
+TEST(Dce, KeepsUnusedParametersForStableSignature) {
+  HloModule m("params");
+  const auto x = m.Parameter({2}, "x");
+  const auto unused = m.Parameter({3}, "unused");
+  (void)unused;
+  m.Relu(x);
+  const HloModule clean = EliminateDeadCode(m);
+  EXPECT_EQ(clean.num_parameters(), 2);
+  ExpectEquivalent(m, clean, 2);
+}
+
+TEST(Dce, NoOpOnCleanModule) {
+  HloModule m("clean");
+  const auto x = m.Parameter({4, 8}, "x");
+  const auto w = m.Parameter({8, 4}, "w");
+  m.Relu(m.Dot(x, w));
+  int removed = -1;
+  const HloModule same = EliminateDeadCode(m, &removed);
+  EXPECT_EQ(removed, 0);
+  EXPECT_EQ(same.instructions().size(), m.instructions().size());
+}
+
+TEST(Cse, MergesIdenticalSubexpressions) {
+  HloModule m("cse");
+  const auto x = m.Parameter({4, 4}, "x");
+  const auto t1 = m.Tanh(x);
+  const auto t2 = m.Tanh(x);  // duplicate
+  m.Add(t1, t2);
+  int merged = 0;
+  const HloModule deduped = CommonSubexpressionElimination(m, &merged);
+  EXPECT_EQ(merged, 1);
+  ExpectEquivalent(m, deduped, 3);
+}
+
+TEST(Cse, DistinguishesAttributes) {
+  HloModule m("attrs");
+  const auto x = m.Parameter({4, 4}, "x");
+  const auto s1 = m.Scale(x, 2.0f);
+  const auto s2 = m.Scale(x, 3.0f);  // different scale: NOT a duplicate
+  m.Add(s1, s2);
+  int merged = 0;
+  const HloModule out = CommonSubexpressionElimination(m, &merged);
+  EXPECT_EQ(merged, 0);
+  ExpectEquivalent(m, out, 4);
+}
+
+TEST(Cse, MergesEqualConstantsOnly) {
+  HloModule m("consts");
+  const auto c1 = m.Constant(Tensor({2}, {1.0f, 2.0f}), "c1");
+  const auto c2 = m.Constant(Tensor({2}, {1.0f, 2.0f}), "c2");
+  const auto c3 = m.Constant(Tensor({2}, {9.0f, 2.0f}), "c3");
+  m.Add(m.Add(c1, c2), c3);
+  int merged = 0;
+  const HloModule out = CommonSubexpressionElimination(m, &merged);
+  EXPECT_EQ(merged, 1);
+  const Tensor v = Evaluate(out, {});
+  EXPECT_EQ(v.flat(0), 11.0f);
+  EXPECT_EQ(v.flat(1), 6.0f);
+}
+
+TEST(Cse, CascadingMerges) {
+  // Two identical chains collapse entirely.
+  HloModule m("chains");
+  const auto x = m.Parameter({4, 4}, "x");
+  const auto a = m.Relu(m.Tanh(x));
+  const auto b = m.Relu(m.Tanh(x));
+  m.Add(a, b);
+  int merged = 0;
+  const HloModule out = CommonSubexpressionElimination(m, &merged);
+  EXPECT_EQ(merged, 2);
+  ExpectEquivalent(m, out, 5);
+}
+
+TEST(MoveScales, ScaleAfterDotMovesToSmallOperand) {
+  // Section 4.1's rewrite: activations [1024, 64] . weights [64, 8] with a
+  // 1/sqrt(d) scale on the (large) output; the scale belongs on the tiny
+  // weight matrix.
+  HloModule m("post_scale");
+  const auto x = m.Parameter({1024, 64}, "x");
+  const auto w = m.Parameter({64, 8}, "w");
+  m.Scale(m.Dot(x, w), 0.125f);
+  int rewrites = 0;
+  const HloModule out = MoveScalesToSmallerSide(m, &rewrites);
+  EXPECT_EQ(rewrites, 1);
+  ExpectEquivalent(m, out, 6);
+  // Elementwise scale work shrinks from 1024*8 elements to 64*8.
+  hlo::TpuCoreModel core;
+  core.op_overhead = 0;
+  EXPECT_LT(CostOfModule(out, core).total.flops,
+            CostOfModule(m, core).total.flops);
+}
+
+TEST(MoveScales, ScaleOnBigOperandMovesToSmallOne) {
+  HloModule m("pre_scale");
+  const auto x = m.Parameter({512, 128}, "x");
+  const auto w = m.Parameter({128, 16}, "w");
+  m.Dot(m.Scale(x, 3.0f), w);
+  int rewrites = 0;
+  const HloModule out = MoveScalesToSmallerSide(m, &rewrites);
+  EXPECT_EQ(rewrites, 1);
+  ExpectEquivalent(m, out, 7, 2e-3f);
+}
+
+TEST(MoveScales, LeavesWellPlacedScalesAlone) {
+  HloModule m("fine");
+  const auto x = m.Parameter({512, 128}, "x");
+  const auto w = m.Parameter({128, 16}, "w");
+  m.Dot(x, m.Scale(w, 3.0f));  // already on the smaller side
+  int rewrites = 0;
+  const HloModule out = MoveScalesToSmallerSide(m, &rewrites);
+  EXPECT_EQ(rewrites, 0);
+  ExpectEquivalent(m, out, 8);
+}
+
+TEST(MoveScales, DotWithOtherUsersSurvives) {
+  HloModule m("shared");
+  const auto x = m.Parameter({256, 64}, "x");
+  const auto w = m.Parameter({64, 8}, "w");
+  const auto dot = m.Dot(x, w);
+  const auto scaled = m.Scale(dot, 0.5f);
+  m.Add(scaled, dot);  // dot used both raw and scaled
+  int rewrites = 0;
+  const HloModule out = MoveScalesToSmallerSide(m, &rewrites);
+  EXPECT_EQ(rewrites, 1);
+  ExpectEquivalent(m, out, 9);
+}
+
+TEST(Fusion, ChainsFuseIntoOneKernel) {
+  HloModule m("chain");
+  const auto x = m.Parameter({64, 64}, "x");
+  m.Relu(m.Tanh(m.Scale(m.Exp(x), 0.5f)));
+  const FusionSummary summary = AnalyzeElementwiseFusion(m);
+  EXPECT_EQ(summary.original_kernels, 4);
+  EXPECT_EQ(summary.fused_kernels, 1);
+}
+
+TEST(Fusion, ContractionsBreakChains) {
+  HloModule m("mixed");
+  const auto x = m.Parameter({32, 32}, "x");
+  const auto w = m.Parameter({32, 32}, "w");
+  const auto h = m.Relu(m.Dot(m.Tanh(x), w));
+  m.Exp(h);
+  const FusionSummary summary = AnalyzeElementwiseFusion(m);
+  // tanh | dot | relu+exp: 4 original kernels, 3 fused.
+  EXPECT_EQ(summary.original_kernels, 4);
+  EXPECT_EQ(summary.fused_kernels, 3);
+}
+
+TEST(Fusion, DiamondFusesAcrossBothBranches) {
+  HloModule m("diamond");
+  const auto x = m.Parameter({16, 16}, "x");
+  const auto a = m.Tanh(x);
+  m.Add(m.Relu(a), m.Exp(a));
+  const FusionSummary summary = AnalyzeElementwiseFusion(m);
+  EXPECT_EQ(summary.original_kernels, 4);
+  EXPECT_EQ(summary.fused_kernels, 1);
+}
+
+TEST(Fusion, FusedSecondsBeatUnfused) {
+  // A layernorm-ish pile of small elementwise ops around one matmul: the
+  // fused module pays far fewer issue overheads (Section 4.1's register/
+  // small-variable story).
+  HloModule m("ln");
+  const auto x = m.Parameter({128, 256}, "x");
+  const auto w = m.Parameter({256, 256}, "w");
+  auto cur = m.Dot(x, w);
+  for (int i = 0; i < 12; ++i) cur = m.Scale(m.Tanh(cur), 1.01f);
+  TpuCoreModel core;
+  core.op_overhead = Micros(2.0);
+  const SimTime unfused = CostOfModule(m, core).seconds;
+  const SimTime fused = FusedModuleSeconds(m, core);
+  EXPECT_LT(fused, unfused * 0.5);
+}
+
+}  // namespace
+}  // namespace tpu::hlo

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace tpu::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.Schedule(3.0, [&] { order.push_back(3); });
+  simulator.Schedule(1.0, [&] { order.push_back(1); });
+  simulator.Schedule(2.0, [&] { order.push_back(2); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(simulator.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimeEventsRunInScheduleOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  simulator.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CallbacksCanScheduleMoreEvents) {
+  Simulator simulator;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) simulator.Schedule(1.0, recurse);
+  };
+  simulator.Schedule(1.0, recurse);
+  simulator.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(simulator.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.Schedule(1.0, [&] { ++fired; });
+  simulator.Schedule(10.0, [&] { ++fired; });
+  simulator.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(simulator.now(), 5.0);
+  simulator.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CountsProcessedEvents) {
+  Simulator simulator;
+  for (int i = 0; i < 7; ++i) simulator.Schedule(0.5, [] {});
+  simulator.Run();
+  EXPECT_EQ(simulator.events_processed(), 7u);
+}
+
+TEST(FifoResource, SerializesOverlappingAcquisitions) {
+  Simulator simulator;
+  FifoResource resource(&simulator);
+  std::vector<double> completions;
+  simulator.Schedule(0.0, [&] {
+    resource.Acquire(2.0, [&] { completions.push_back(simulator.now()); });
+    resource.Acquire(3.0, [&] { completions.push_back(simulator.now()); });
+  });
+  simulator.Run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 2.0);
+  EXPECT_DOUBLE_EQ(completions[1], 5.0);  // queued behind the first
+  EXPECT_DOUBLE_EQ(resource.busy_time(), 5.0);
+}
+
+TEST(FifoResource, ReserveFromHonorsEarliestStart) {
+  Simulator simulator;
+  FifoResource resource(&simulator);
+  // Idle resource, reservation wants to start at t=4.
+  EXPECT_DOUBLE_EQ(resource.ReserveFrom(4.0, 1.0), 4.0);
+  // Next reservation asks for t=2 but the queue ends at t=5.
+  EXPECT_DOUBLE_EQ(resource.ReserveFrom(2.0, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(resource.free_at(), 6.0);
+  EXPECT_DOUBLE_EQ(resource.busy_time(), 2.0);
+}
+
+TEST(Barrier, FiresAfterExpectedNotifies) {
+  int fired = 0;
+  Barrier barrier(3, [&] { ++fired; });
+  barrier.Notify();
+  barrier.Notify();
+  EXPECT_EQ(fired, 0);
+  barrier.Notify();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace tpu::sim

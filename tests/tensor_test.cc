@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+
+namespace tpu::tensor {
+namespace {
+
+TEST(Tensor, ConstructionAndIndexing) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.num_elements(), 6);
+  t.at({1, 2}) = 5.0f;
+  EXPECT_EQ(t.at({1, 2}), 5.0f);
+  EXPECT_EQ(t.flat(5), 5.0f);
+  EXPECT_EQ(t.at({0, 0}), 0.0f);
+}
+
+TEST(Tensor, ScalarAndFull) {
+  EXPECT_EQ(Tensor::Scalar(3.0f).num_elements(), 1);
+  const Tensor f = Tensor::Full({2, 2}, 7.0f);
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(f.flat(i), 7.0f);
+}
+
+TEST(Tensor, RandomIsDeterministic) {
+  const Tensor a = Tensor::Random({4, 4}, 42);
+  const Tensor b = Tensor::Random({4, 4}, 42);
+  EXPECT_EQ(a.MaxAbsDiff(b), 0.0f);
+  const Tensor c = Tensor::Random({4, 4}, 43);
+  EXPECT_GT(a.MaxAbsDiff(c), 0.0f);
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3, 4}).ShapeString(), "[2,3,4]");
+  EXPECT_EQ(Tensor::Scalar(1.0f).ShapeString(), "[]");
+}
+
+TEST(Elementwise, AddSubMulScale) {
+  const Tensor a({2}, {1.0f, 2.0f});
+  const Tensor b({2}, {3.0f, 5.0f});
+  EXPECT_EQ(Add(a, b).flat(1), 7.0f);
+  EXPECT_EQ(Sub(b, a).flat(0), 2.0f);
+  EXPECT_EQ(Mul(a, b).flat(1), 10.0f);
+  EXPECT_EQ(Scale(a, 4.0f).flat(1), 8.0f);
+}
+
+TEST(Elementwise, ReluTanhExp) {
+  const Tensor a({3}, {-1.0f, 0.0f, 2.0f});
+  const Tensor r = Relu(a);
+  EXPECT_EQ(r.flat(0), 0.0f);
+  EXPECT_EQ(r.flat(2), 2.0f);
+  EXPECT_NEAR(Tanh(a).flat(2), std::tanh(2.0f), 1e-6);
+  EXPECT_NEAR(Exp(a).flat(0), std::exp(-1.0f), 1e-6);
+}
+
+TEST(MatMul, SmallKnownResult) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<Index>{2, 2}));
+  EXPECT_EQ(c.at({0, 0}), 58.0f);
+  EXPECT_EQ(c.at({0, 1}), 64.0f);
+  EXPECT_EQ(c.at({1, 0}), 139.0f);
+  EXPECT_EQ(c.at({1, 1}), 154.0f);
+}
+
+TEST(MatMul, IdentityPreserves) {
+  const Tensor a = Tensor::Random({4, 4}, 1);
+  Tensor eye({4, 4});
+  for (Index i = 0; i < 4; ++i) eye.at({i, i}) = 1.0f;
+  EXPECT_LT(MatMul(a, eye).MaxAbsDiff(a), 1e-6f);
+}
+
+TEST(MatMul, ZeroContractionDim) {
+  const Tensor a({2, 0});
+  const Tensor b({0, 3});
+  const Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<Index>{2, 3}));
+  for (Index i = 0; i < 6; ++i) EXPECT_EQ(c.flat(i), 0.0f);
+}
+
+TEST(Conv2D, IdentityKernel) {
+  // 1x1 kernel with value 1: output == input.
+  const Tensor input = Tensor::Random({1, 4, 4, 1}, 2);
+  const Tensor kernel({1, 1, 1, 1}, {1.0f});
+  const Tensor out = Conv2D(input, kernel, Conv2DConfig{});
+  EXPECT_LT(out.MaxAbsDiff(input), 1e-7f);
+}
+
+TEST(Conv2D, SumKernelComputesNeighborhoodSums) {
+  Tensor input({1, 3, 3, 1});
+  for (Index i = 0; i < 9; ++i) input.flat(i) = static_cast<float>(i + 1);
+  const Tensor kernel = Tensor::Full({3, 3, 1, 1}, 1.0f);
+  Conv2DConfig config;
+  config.pad_top = config.pad_bottom = config.pad_left = config.pad_right = 1;
+  const Tensor out = Conv2D(input, kernel, config);
+  EXPECT_EQ(out.shape(), (std::vector<Index>{1, 3, 3, 1}));
+  // Center = sum of all 9 = 45; corner (0,0) = 1+2+4+5 = 12.
+  EXPECT_EQ(out.at({0, 1, 1, 0}), 45.0f);
+  EXPECT_EQ(out.at({0, 0, 0, 0}), 12.0f);
+}
+
+TEST(Conv2D, StrideReducesOutput) {
+  const Tensor input = Tensor::Random({2, 8, 8, 3}, 3);
+  const Tensor kernel = Tensor::Random({3, 3, 3, 4}, 4);
+  Conv2DConfig config;
+  config.stride_h = config.stride_w = 2;
+  config.pad_top = config.pad_bottom = config.pad_left = config.pad_right = 1;
+  const Tensor out = Conv2D(input, kernel, config);
+  EXPECT_EQ(out.shape(), (std::vector<Index>{2, 4, 4, 4}));
+}
+
+TEST(Conv2D, OutputSizeFormula) {
+  EXPECT_EQ(ConvOutputSize(8, 3, 1, 1, 1), 8);
+  EXPECT_EQ(ConvOutputSize(8, 3, 2, 0, 1), 4);
+  EXPECT_EQ(ConvOutputSize(5, 5, 1, 0, 0), 1);
+}
+
+TEST(ShapeOps, ReshapeKeepsData) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b = Reshape(a, {3, 2});
+  EXPECT_EQ(b.at({2, 1}), 6.0f);
+}
+
+TEST(ShapeOps, Transpose2D) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor t = Transpose2D(a);
+  EXPECT_EQ(t.shape(), (std::vector<Index>{3, 2}));
+  EXPECT_EQ(t.at({2, 0}), 3.0f);
+  EXPECT_EQ(t.at({0, 1}), 4.0f);
+}
+
+TEST(ShapeOps, ReduceSumEachAxis) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor rows = ReduceSum(a, 0);
+  EXPECT_EQ(rows.shape(), (std::vector<Index>{3}));
+  EXPECT_EQ(rows.flat(0), 5.0f);
+  EXPECT_EQ(rows.flat(2), 9.0f);
+  const Tensor cols = ReduceSum(a, 1);
+  EXPECT_EQ(cols.flat(0), 6.0f);
+  EXPECT_EQ(cols.flat(1), 15.0f);
+}
+
+TEST(ShapeOps, SoftmaxRowsSumToOne) {
+  const Tensor a = Tensor::Random({4, 7}, 5);
+  const Tensor s = Softmax(a);
+  for (Index r = 0; r < 4; ++r) {
+    float sum = 0;
+    for (Index j = 0; j < 7; ++j) {
+      const float v = s.at({r, j});
+      EXPECT_GT(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(ShapeOps, SoftmaxNumericallyStableForLargeInputs) {
+  const Tensor a({1, 2}, {1000.0f, 1000.0f});
+  const Tensor s = Softmax(a);
+  EXPECT_NEAR(s.flat(0), 0.5f, 1e-6f);
+}
+
+TEST(SliceOps, SliceAndInsertRoundTrip) {
+  const Tensor a = Tensor::Random({4, 6}, 6);
+  const Tensor block = Slice(a, {1, 2}, {2, 3});
+  EXPECT_EQ(block.shape(), (std::vector<Index>{2, 3}));
+  EXPECT_EQ(block.at({0, 0}), a.at({1, 2}));
+  Tensor b = Tensor::Zeros({4, 6});
+  InsertSlice(b, block, {1, 2});
+  EXPECT_EQ(b.at({2, 4}), a.at({2, 4}));
+  EXPECT_EQ(b.at({0, 0}), 0.0f);
+}
+
+TEST(SliceOps, EmptySlice) {
+  const Tensor a = Tensor::Random({4, 6}, 7);
+  const Tensor empty = Slice(a, {2, 0}, {0, 6});
+  EXPECT_EQ(empty.num_elements(), 0);
+}
+
+TEST(SliceOps, ConcatRestoresSplit) {
+  const Tensor a = Tensor::Random({6, 4}, 8);
+  const Tensor top = Slice(a, {0, 0}, {2, 4});
+  const Tensor bottom = Slice(a, {2, 0}, {4, 4});
+  EXPECT_EQ(Concat({top, bottom}, 0).MaxAbsDiff(a), 0.0f);
+  const Tensor left = Slice(a, {0, 0}, {6, 1});
+  const Tensor right = Slice(a, {0, 1}, {6, 3});
+  EXPECT_EQ(Concat({left, right}, 1).MaxAbsDiff(a), 0.0f);
+}
+
+TEST(SliceOps, PadAddsBorder) {
+  const Tensor a = Tensor::Full({2, 2}, 3.0f);
+  const Tensor p = Pad(a, {1, 0}, {0, 2}, -1.0f);
+  EXPECT_EQ(p.shape(), (std::vector<Index>{3, 4}));
+  EXPECT_EQ(p.at({0, 0}), -1.0f);
+  EXPECT_EQ(p.at({1, 0}), 3.0f);
+  EXPECT_EQ(p.at({1, 3}), -1.0f);
+}
+
+}  // namespace
+}  // namespace tpu::tensor

@@ -1,0 +1,82 @@
+// Shared random-HLO-graph generator for the fuzz suites.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "hlo/hlo.h"
+#include "spmd/spmd.h"
+#include "tensor/tensor.h"
+
+namespace tpu::testutil {
+
+// Builds a random module of chained 2-D ops over a few tensors, plus random
+// parameter shardings that the partitioner must handle (resharding where it
+// has to).
+struct RandomGraph {
+  hlo::HloModule module{"fuzz"};
+  std::vector<spmd::Sharding> shardings;
+  std::vector<tensor::Tensor> params;
+};
+
+RandomGraph MakeRandomGraph(Rng& rng) {
+  RandomGraph g;
+  const tensor::Index m = 4 + 2 * static_cast<tensor::Index>(rng.NextBounded(4));
+  const tensor::Index k = 4 + 2 * static_cast<tensor::Index>(rng.NextBounded(4));
+
+  auto random_sharding = [&](int rank) {
+    const int choice = static_cast<int>(rng.NextBounded(3));
+    if (choice == 0) return spmd::Sharding::Replicated();
+    return spmd::Sharding::Tiled(choice - 1 < rank ? choice - 1 : 0);
+  };
+
+  const auto x = g.module.Parameter({m, k}, "x");
+  g.shardings.push_back(random_sharding(2));
+  g.params.push_back(tensor::Tensor::Random({m, k}, rng.NextU64()));
+
+  hlo::InstrId cur = x;
+  tensor::Index cur_cols = k;
+  const int depth = 2 + static_cast<int>(rng.NextBounded(4));
+  for (int d = 0; d < depth; ++d) {
+    switch (rng.NextBounded(6)) {
+      case 0: {  // dot with a fresh weight
+        const tensor::Index n =
+            4 + 2 * static_cast<tensor::Index>(rng.NextBounded(4));
+        const auto w = g.module.Parameter({cur_cols, n}, "w");
+        g.shardings.push_back(random_sharding(2));
+        g.params.push_back(
+            tensor::Tensor::Random({cur_cols, n}, rng.NextU64()));
+        cur = g.module.Dot(cur, w);
+        cur_cols = n;
+        break;
+      }
+      case 1:
+        cur = g.module.Relu(cur);
+        break;
+      case 2:
+        cur = g.module.Tanh(cur);
+        break;
+      case 3:
+        cur = g.module.Softmax(cur);
+        break;
+      case 4: {
+        cur = g.module.Transpose(cur);
+        cur_cols = g.module.instr(cur).shape[1];
+        break;
+      }
+      case 5: {
+        // Elementwise combine with a fresh same-shape parameter.
+        const hlo::Shape shape = g.module.instr(cur).shape;
+        const auto b = g.module.Parameter(shape, "b");
+        g.shardings.push_back(random_sharding(2));
+        g.params.push_back(tensor::Tensor::Random(shape, rng.NextU64()));
+        cur = g.module.Add(cur, b);
+        break;
+      }
+    }
+  }
+  return g;
+}
+
+
+}  // namespace tpu::testutil
