@@ -27,6 +27,45 @@ std::vector<float*> DataFor(const std::vector<float*>& chip_buffers,
   return data;
 }
 
+// Healthy-network estimate of one ring-collective phase, used as the baseline
+// for the per-phase failure-detection deadline. All rings run concurrently; a
+// ring pass is (n-1) barrier-synchronized steps, each as long as its slowest
+// hop, so the phase estimate is max over rings of (n-1) * slowest-hop time.
+// Uses EstimateArrival, which deliberately ignores injected degradation —
+// the deadline compares sick reality against healthy expectation. Folded
+// (mesh-dimension) rings put two ring edges on each physical link; the
+// resulting ~2x contention is not modeled here, which is why deadline
+// multiples below ~2 are prone to false positives on X rings.
+SimTime ExpectedPhaseSeconds(net::Network& network,
+                             const std::vector<RingSpec>& rings,
+                             const CollectiveOptions& options) {
+  const SimTime now = network.simulator().now();
+  SimTime worst = 0;
+  for (const RingSpec& spec : rings) {
+    const int n = spec.size();
+    if (n <= 1 || spec.range.size() == 0) continue;
+    // Per-direction payload split mirrors the bidirectional schedule.
+    std::int64_t dir_elems[2] = {spec.range.size(), 0};
+    if (options.bidirectional && n > 2) {
+      dir_elems[0] = spec.range.size() / 2;
+      dir_elems[1] = spec.range.size() - dir_elems[0];
+    }
+    for (const std::int64_t elems : dir_elems) {
+      if (elems == 0) continue;
+      const Bytes bytes = CeilDiv(elems, n) * options.wire_bytes_per_elem();
+      SimTime slowest_hop = 0;
+      for (int rank = 0; rank < n; ++rank) {
+        const topo::ChipId from = spec.order[rank];
+        const topo::ChipId to = spec.order[(rank + 1) % n];
+        slowest_hop = std::max(slowest_hop,
+                               network.EstimateArrival(from, to, bytes) - now);
+      }
+      worst = std::max(worst, (n - 1) * slowest_hop);
+    }
+  }
+  return worst;
+}
+
 }  // namespace
 
 std::vector<topo::ChipId> SnakeRingOverMesh(const topo::MeshTopology& topo) {
@@ -59,6 +98,8 @@ GradientSummationResult TwoDGradientSummation(
   GradientSummationResult result;
   const Range full{0, config.elems};
 
+  sim::Simulator& simulator = network.simulator();
+
   // Phase 1: reduce-scatter along Y (one torus ring per column, all
   // concurrent). The Y ring ordering is a function of the y coordinate only,
   // so every column shares the same rank layout.
@@ -81,8 +122,6 @@ GradientSummationResult TwoDGradientSummation(
     y_rank[y] = PosIn(y_ring0, topo.ChipAt({0, y}));
   }
 
-  result.reduce_seconds += ReduceScatter(network, y_rings, config.collective);
-
   // Phase 2: reduce-scatter along X over each Y-owned sub-range. Rings hop
   // over model-parallel peers when stride > 1.
   const int ny = static_cast<int>(y_ring0.size());
@@ -104,8 +143,6 @@ GradientSummationResult TwoDGradientSummation(
       }
     }
   }
-  result.reduce_seconds += ReduceScatter(network, x_rings, config.collective);
-
   // Ownership after both reduce phases, per chip.
   auto owned_elems_of = [&](topo::ChipId chip) {
     const topo::Coord c = topo.CoordOf(chip);
@@ -131,28 +168,98 @@ GradientSummationResult TwoDGradientSummation(
         std::max(result.max_owned_elems, owned_elems_of(chip));
   }
 
+  // The five phases chain through completion callbacks and the simulator
+  // runs once at the end, instead of draining the queue between phases.
+  // Timing is identical when the collective owns the event queue, but this
+  // lets externally scheduled events — armed fault injections and their
+  // healings (fault::FaultInjector) — fire *during* the collective rather
+  // than being absorbed into one phase's drain. Phase boundaries are the
+  // recorded callback timestamps; events left in the queue after the final
+  // all-gather (e.g. pending link healings) do not affect the result.
+  const bool monitored = config.deadline.enabled();
+  const SimTime start = simulator.now();
+  SimTime end_y_rs = -1, end_x_rs = -1, end_update = -1, end_x_ag = -1,
+          end_y_ag = -1;
+  SimTime exp_y_rs = 0, exp_x_rs = 0, exp_x_ag = 0, exp_y_ag = 0;
+
+  // Declared in reverse chain order; each stage captures its successor by
+  // reference (all outlive the Run() below). Expectations are estimated at
+  // each phase's start so they see the then-current link occupancy.
+  std::function<void()> after_y_ag = [&] { end_y_ag = simulator.now(); };
+  std::function<void()> start_y_ag = [&] {
+    end_x_ag = simulator.now();
+    if (monitored) {
+      exp_y_ag = ExpectedPhaseSeconds(network, y_rings, config.collective);
+    }
+    StartAllGather(network, y_rings, config.collective, after_y_ag);
+  };
+  std::function<void()> start_x_ag = [&] {
+    end_update = simulator.now();
+    if (monitored) {
+      exp_x_ag = ExpectedPhaseSeconds(network, x_rings, config.collective);
+    }
+    StartAllGather(network, x_rings, config.collective, start_y_ag);
+  };
   // Phase 3: sharded weight update (weight-update sharding, Section 3.2).
-  if (config.shard_update_seconds) {
-    sim::Simulator& simulator = network.simulator();
-    const SimTime start = simulator.now();
+  std::function<void()> start_update = [&] {
+    end_x_rs = simulator.now();
+    if (!config.shard_update_seconds) {
+      start_x_ag();
+      return;
+    }
+    auto barrier =
+        std::make_shared<sim::Barrier>(topo.num_chips(), start_x_ag);
     for (int chip = 0; chip < topo.num_chips(); ++chip) {
       simulator.Schedule(config.shard_update_seconds(owned_elems_of(chip)),
-                         [] {});
+                         [barrier] { barrier->Notify(); });
     }
-    simulator.Run();
-    result.update_seconds = simulator.now() - start;
+  };
+  std::function<void()> start_x_rs = [&] {
+    end_y_rs = simulator.now();
+    if (monitored) {
+      exp_x_rs = ExpectedPhaseSeconds(network, x_rings, config.collective);
+    }
+    StartReduceScatter(network, x_rings, config.collective, start_update);
+  };
+  if (monitored) {
+    exp_y_rs = ExpectedPhaseSeconds(network, y_rings, config.collective);
   }
+  StartReduceScatter(network, y_rings, config.collective, start_x_rs);
+  simulator.Run();
+  TPU_CHECK_GE(end_y_ag, 0.0);
 
-  // Phase 4: all-gather back, X first then Y ("broadcast first along X and
-  // then Y").
-  result.broadcast_seconds += AllGather(network, x_rings, config.collective);
-  result.broadcast_seconds += AllGather(network, y_rings, config.collective);
+  result.reduce_seconds = end_x_rs - start;
+  result.update_seconds = end_update - end_x_rs;
+  result.broadcast_seconds = end_y_ag - end_update;
+
+  if (monitored) {
+    auto record = [&result, &config](const char* name, SimTime phase_start,
+                                     SimTime phase_end, SimTime expected) {
+      PhaseTiming timing;
+      timing.name = name;
+      timing.start = phase_start;
+      timing.expected = expected;
+      timing.actual = phase_end - phase_start;
+      timing.deadline = config.deadline.DeadlineFor(expected);
+      timing.timed_out = timing.actual > timing.deadline;
+      if (timing.timed_out && !result.timed_out) {
+        result.timed_out = true;
+        result.detected_at = phase_start + timing.deadline;
+        result.timed_out_phase = name;
+      }
+      result.phases.push_back(timing);
+    };
+    record("Y-reduce-scatter", start, end_y_rs, exp_y_rs);
+    record("X-reduce-scatter", end_y_rs, end_x_rs, exp_x_rs);
+    record("X-all-gather", end_update, end_x_ag, exp_x_ag);
+    record("Y-all-gather", end_x_ag, end_y_ag, exp_y_ag);
+  }
   return result;
 }
 
 SimTime PipelinedTwoDGradientSummation(
     net::Network& network, const GradientSummationConfig& config, int chunks,
-    std::vector<float*> chip_buffers) {
+    std::vector<float*> chip_buffers, PipelinedSummationReport* report) {
   const topo::MeshTopology& topo = network.topology();
   TPU_CHECK_GT(config.elems, 0);
   TPU_CHECK_GT(chunks, 0);
@@ -172,7 +279,50 @@ SimTime PipelinedTwoDGradientSummation(
     y_rank[y] = PosIn(y_ring0, topo.ChipAt({0, y}));
   }
 
-  auto all_done = std::make_shared<sim::Barrier>(chunks, [] {});
+  // Slice phases overlap, so deadline monitoring watches the fused collective
+  // as a whole: the expectation is the *sequential* full-payload schedule
+  // (Y-RS + X-RS + X-AG + Y-AG), an upper bound on the pipelined time, so
+  // pipelining itself can never trip the deadline. The sharded-update hook is
+  // compute, not communication, and is excluded from the expectation.
+  const bool monitored = report != nullptr && config.deadline.enabled();
+  if (monitored) {
+    std::vector<RingSpec> estimate_y;
+    for (int x = 0; x < topo.size_x(); ++x) {
+      RingSpec spec;
+      spec.order = topo.RingAlong(topo::Dim::kY, topo.ChipAt({x, 0}));
+      spec.range = Range{0, config.elems};
+      estimate_y.push_back(std::move(spec));
+    }
+    std::vector<RingSpec> estimate_x;
+    for (int y = 0; y < topo.size_y(); ++y) {
+      const std::vector<Range> y_owned = OwnedAfterReduceScatter(
+          Range{0, config.elems}, ny, y_rank[y], config.collective);
+      for (int offset = 0; offset < config.model_parallel_stride; ++offset) {
+        std::vector<topo::ChipId> order = topo.StridedRingAlong(
+            topo::Dim::kX, topo.ChipAt({offset, y}),
+            config.model_parallel_stride);
+        for (const Range& owned : y_owned) {
+          if (owned.size() == 0) continue;
+          RingSpec spec;
+          spec.order = order;
+          spec.range = owned;
+          estimate_x.push_back(std::move(spec));
+        }
+      }
+    }
+    const SimTime y_phase =
+        ExpectedPhaseSeconds(network, estimate_y, config.collective);
+    const SimTime x_phase =
+        ExpectedPhaseSeconds(network, estimate_x, config.collective);
+    report->expected = 2 * y_phase + 2 * x_phase;
+    report->deadline = config.deadline.DeadlineFor(report->expected);
+  }
+
+  // Completion is timestamped by the barrier callback (not by queue drain),
+  // so armed fault events pending past the collective don't inflate it.
+  SimTime completed_at = -1;
+  auto all_done = std::make_shared<sim::Barrier>(
+      chunks, [&completed_at, &simulator] { completed_at = simulator.now(); });
   const std::int64_t slice = CeilDiv(config.elems, chunks);
   for (int c = 0; c < chunks; ++c) {
     const Range range{std::min<std::int64_t>(config.elems, c * slice),
@@ -258,7 +408,14 @@ SimTime PipelinedTwoDGradientSummation(
                        });
   }
   simulator.Run();
-  return simulator.now() - start;
+  TPU_CHECK_GE(completed_at, 0.0);
+  const SimTime elapsed = completed_at - start;
+  if (monitored) {
+    report->actual = elapsed;
+    report->timed_out = elapsed > report->deadline;
+    report->detected_at = report->timed_out ? start + report->deadline : -1.0;
+  }
+  return elapsed;
 }
 
 SimTime OneDGradientSummation(net::Network& network,

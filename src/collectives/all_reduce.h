@@ -24,6 +24,26 @@
 
 namespace tpu::coll {
 
+// Per-collective-phase failure detection, the way a real synchronous runtime
+// notices a stall: each phase gets a deadline of `multiple` times its expected
+// duration (computed from the healthy-network EstimateArrival model before
+// the phase starts); a phase that overruns its deadline is reported as timed
+// out at the moment the deadline expired — the collective itself still runs
+// to completion so the caller also learns the true stall length.
+struct PhaseDeadlineConfig {
+  // Deadline = max(multiple * expected_phase_seconds, min_deadline).
+  // 0 disables monitoring (the default: figures/benches pay no overhead).
+  double multiple = 0.0;
+  // Floor so microsecond-scale phases don't trip on estimation error.
+  SimTime min_deadline = Micros(50);
+
+  bool enabled() const { return multiple > 0.0; }
+  SimTime DeadlineFor(SimTime expected_seconds) const {
+    const SimTime scaled = multiple * expected_seconds;
+    return scaled > min_deadline ? scaled : min_deadline;
+  }
+};
+
 struct GradientSummationConfig {
   std::int64_t elems = 0;  // per-chip gradient payload, in float elements
   CollectiveOptions collective;
@@ -35,6 +55,18 @@ struct GradientSummationConfig {
   // owns after the reduce phase, returns the simulated seconds its sharded
   // optimizer update takes. Null hook skips the update phase.
   std::function<SimTime(std::int64_t owned_elems)> shard_update_seconds;
+  // Optional per-phase timeout detection (see PhaseDeadlineConfig).
+  PhaseDeadlineConfig deadline;
+};
+
+// Timing of one monitored collective phase (Y-RS / X-RS / X-AG / Y-AG).
+struct PhaseTiming {
+  const char* name = "";
+  SimTime start = 0;     // sim-time the phase began
+  SimTime expected = 0;  // healthy-network estimate
+  SimTime actual = 0;    // observed duration
+  SimTime deadline = 0;  // max(multiple * expected, min_deadline)
+  bool timed_out = false;
 };
 
 struct GradientSummationResult {
@@ -44,6 +76,17 @@ struct GradientSummationResult {
   // Elements each chip owned at the update point (uniform up to rounding;
   // this is the max across chips).
   std::int64_t max_owned_elems = 0;
+
+  // Filled when config.deadline is enabled: the four communication phases in
+  // schedule order, plus the first-detection summary below.
+  std::vector<PhaseTiming> phases;
+  bool timed_out = false;
+  // Sim-time the first phase deadline expired (phase start + deadline);
+  // negative when nothing timed out. On a stalled collective this is far
+  // earlier than the stall's eventual completion — the gap is what a
+  // checkpoint/restart system saves by detecting instead of waiting.
+  SimTime detected_at = -1.0;
+  const char* timed_out_phase = nullptr;
 
   SimTime total() const {
     return reduce_seconds + update_seconds + broadcast_seconds;
@@ -65,9 +108,23 @@ GradientSummationResult TwoDGradientSummation(
 // schedule above is the conservative default. Functionally identical
 // (slices are disjoint); returns elapsed simulated time. The weight-update
 // hook, when present, runs per slice on the owned shard.
+//
+// Phases of different slices overlap, so deadline monitoring (when
+// config.deadline is enabled and `report` is non-null) watches the fused
+// collective as a whole: expected time is the sum of the healthy-network
+// phase estimates for the full payload (an upper bound on the pipelined
+// schedule, hence conservative — no false positives from pipelining itself).
+struct PipelinedSummationReport {
+  SimTime expected = 0;
+  SimTime actual = 0;
+  SimTime deadline = 0;
+  bool timed_out = false;
+  SimTime detected_at = -1.0;  // start + deadline when timed out, else -1
+};
 SimTime PipelinedTwoDGradientSummation(
     net::Network& network, const GradientSummationConfig& config, int chunks,
-    std::vector<float*> chip_buffers = {});
+    std::vector<float*> chip_buffers = {},
+    PipelinedSummationReport* report = nullptr);
 
 // Baseline for the ablation bench: a single ring over the whole mesh
 // (boustrophedon over rows), the schedule 2-D summation replaces. Exposes

@@ -246,10 +246,12 @@ StepBreakdown MultipodSystem::SimulateStep(const models::ModelSpec& spec,
       coll::TwoDGradientSummation(network, summation);
   step.allreduce = result.reduce_seconds + result.broadcast_seconds;
   // Optional overlap of the gradient reduction with backprop: only time
-  // actually coverable by compute can be hidden.
-  step.overlapped = std::min(options_.allreduce_overlap_fraction *
-                                 step.allreduce,
-                             step.compute);
+  // actually coverable by compute can be hidden, and never more than the
+  // all-reduce itself (an overlap fraction > 1 must saturate, not produce a
+  // negative exposed-communication term).
+  step.overlapped = std::min({options_.allreduce_overlap_fraction *
+                                  step.allreduce,
+                              step.allreduce, step.compute});
   step.weight_update =
       options_.weight_update_sharding
           ? result.update_seconds
@@ -326,6 +328,64 @@ EndToEndResult MultipodSystem::SimulateTraining(
         metrics::EvalScheduleSpan(num_evals, interval, cpu_job, workers);
     result.eval_seconds += std::max(0.0, span - (num_evals - 1) * interval);
   }
+  return result;
+}
+
+FaultTolerantResult MultipodSystem::SimulateTrainingUnderFailures(
+    models::Benchmark benchmark, std::int64_t global_batch,
+    int model_parallel_cores, frameworks::Framework framework,
+    const FaultToleranceOptions& fault_options) {
+  FaultTolerantResult result;
+  result.failure_free = SimulateTraining(benchmark, global_batch,
+                                         model_parallel_cores, framework);
+  const models::ModelSpec& spec = models::GetModelSpec(benchmark);
+  const SimTime base =
+      result.failure_free.train_seconds + result.failure_free.eval_seconds;
+
+  result.system_mtbf =
+      fault::SystemMtbf(num_chips(), fault_options.faults.chip_mtbf,
+                        topology_.num_hosts(),
+                        fault_options.faults.host_preemption_mtbf);
+  result.checkpoint = fault::EstimateCheckpointCosts(
+      spec, topology_.num_hosts(), fault_options.checkpoint);
+
+  // Detection: a fatal fault stalls the next synchronous step; the runtime
+  // notices when the step overruns its health-monitor deadline.
+  const fault::HealthMonitor monitor(fault_options.monitor);
+  result.detection_latency =
+      monitor.DeadlineFor(result.failure_free.step.step());
+  // Restart replays the full runtime bring-up of Table 2 plus the restore.
+  result.restart_seconds =
+      result.checkpoint.restore_seconds +
+      frameworks::EstimateInitTime(framework, benchmark, num_chips()).total();
+
+  if (result.system_mtbf <= 0) {
+    // No fatal fault class enabled: exact degeneration to the existing
+    // failure-free end-to-end result.
+    result.expected_seconds = base;
+    return result;
+  }
+
+  fault::GoodputConfig goodput;
+  goodput.system_mtbf = result.system_mtbf;
+  goodput.checkpoint_write = result.checkpoint.write_seconds;
+  goodput.detection_latency = result.detection_latency;
+  goodput.restart_seconds = result.restart_seconds;
+  if (fault_options.checkpoint_interval > 0) {
+    result.checkpoint_interval = fault_options.checkpoint_interval;
+  } else {
+    // Cannot checkpoint more often than one step; no point less often than
+    // the whole run.
+    const SimTime lo = std::max(result.failure_free.step.step(), Millis(1));
+    const SimTime hi = std::max(base, 2 * lo);
+    result.checkpoint_interval =
+        fault::OptimalCheckpointInterval(base, goodput, lo, hi);
+  }
+  goodput.checkpoint_interval = result.checkpoint_interval;
+  const fault::GoodputResult expected = fault::ExpectedRunTime(base, goodput);
+  result.expected_seconds = expected.expected_seconds;
+  result.expected_failures = expected.expected_failures;
+  result.goodput = expected.goodput();
   return result;
 }
 

@@ -13,9 +13,13 @@
 // 11) and end-to-end MLPerf times (Table 1, Figure 10).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 
+#include "fault/checkpoint.h"
+#include "fault/fault_injector.h"
+#include "fault/health_monitor.h"
 #include "frameworks/runtime_model.h"
 #include "hlo/cost_model.h"
 #include "models/model_specs.h"
@@ -66,7 +70,10 @@ struct StepBreakdown {
   SimTime embedding_comm = 0; // DLRM all-to-all for partitioned tables
 
   SimTime step() const {
-    return compute + allreduce - overlapped + weight_update + embedding_comm;
+    // Saturate: overlap can hide communication, never create negative
+    // exposed-communication time (an overlap fraction > 1 used to).
+    const SimTime hidden = std::min(overlapped, allreduce);
+    return compute + allreduce - hidden + weight_update + embedding_comm;
   }
   double allreduce_fraction() const {
     return step() > 0 ? allreduce / step() : 0;
@@ -80,6 +87,28 @@ struct EndToEndResult {
   SimTime eval_seconds = 0;
   double epochs = 0;
   double minutes() const { return ToMinutes(train_seconds + eval_seconds); }
+};
+
+// Inputs for the fault-tolerant end-to-end model.
+struct FaultToleranceOptions {
+  fault::FaultModelConfig faults;       // per-unit MTBFs (chip/link/host)
+  fault::HealthMonitorConfig monitor;   // phase-deadline detection
+  fault::CheckpointConfig checkpoint;   // write/restore cost model
+  // Useful seconds between checkpoints; <= 0 picks the numeric optimum of
+  // the expected-makespan curve.
+  SimTime checkpoint_interval = 0;
+};
+
+struct FaultTolerantResult {
+  EndToEndResult failure_free;
+  SimTime system_mtbf = 0;  // <= 0: failure-free (no fatal class enabled)
+  fault::CheckpointCosts checkpoint;
+  SimTime detection_latency = 0;   // health-monitor deadline on one step
+  SimTime restart_seconds = 0;     // restore + framework re-init
+  SimTime checkpoint_interval = 0; // the interval actually used
+  SimTime expected_seconds = 0;    // expected makespan under failures
+  double expected_failures = 0;
+  double goodput = 1.0;            // failure-free / expected
 };
 
 class MultipodSystem {
@@ -110,6 +139,14 @@ class MultipodSystem {
   // Convenience: run the benchmark at its MLPerf v0.7 submission scale.
   EndToEndResult SimulateSubmission(models::Benchmark benchmark,
                                     frameworks::Framework framework);
+
+  // Fault-tolerant end-to-end model: composes the failure-free result with
+  // the fault model, health-monitor detection latency, and checkpoint/restart
+  // costs into the expected makespan under failures (see fault/checkpoint.h).
+  FaultTolerantResult SimulateTrainingUnderFailures(
+      models::Benchmark benchmark, std::int64_t global_batch,
+      int model_parallel_cores, frameworks::Framework framework,
+      const FaultToleranceOptions& fault_options);
 
  private:
   topo::MeshTopology topology_;

@@ -1,0 +1,137 @@
+#include "fault/checkpoint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tpu::fault {
+namespace {
+
+bool FailureFree(SimTime mtbf) { return mtbf <= 0 || std::isinf(mtbf); }
+
+}  // namespace
+
+Bytes TrainingStateBytes(const models::ModelSpec& spec,
+                         const CheckpointConfig& config) {
+  const double dense =
+      static_cast<double>(spec.parameters) * 4.0 *
+      (1.0 + config.optimizer_state_factor);
+  const double embedding = static_cast<double>(spec.embedding_parameters) * 4.0;
+  return static_cast<Bytes>(dense + embedding);
+}
+
+CheckpointCosts EstimateCheckpointCosts(const models::ModelSpec& spec,
+                                        int num_hosts,
+                                        const CheckpointConfig& config) {
+  TPU_CHECK_GT(num_hosts, 0);
+  CheckpointCosts costs;
+  costs.state_bytes = TrainingStateBytes(spec, config);
+  const double per_host =
+      static_cast<double>(costs.state_bytes) / num_hosts;
+  // Readback and the replicated storage write pipeline; the slower pipe
+  // bounds throughput.
+  const SimTime pcie = per_host / config.host_pcie_bandwidth;
+  const SimTime dcn =
+      per_host * config.storage_replication / config.host_dcn_bandwidth;
+  costs.write_seconds = std::max(pcie, dcn) + config.barrier_overhead;
+  // Restore reads one replica back and pushes it over PCIe.
+  costs.restore_seconds =
+      std::max(per_host / config.host_dcn_bandwidth, pcie) +
+      config.barrier_overhead;
+  return costs;
+}
+
+GoodputResult ExpectedRunTime(SimTime base_seconds,
+                              const GoodputConfig& config) {
+  TPU_CHECK_GE(base_seconds, 0.0);
+  GoodputResult result;
+  result.base_seconds = base_seconds;
+  if (FailureFree(config.system_mtbf) || base_seconds == 0) {
+    // No failures can occur: checkpoints buy nothing, a rational runtime
+    // writes none, and the makespan is exactly the failure-free time.
+    result.expected_seconds = base_seconds;
+    return result;
+  }
+  TPU_CHECK_GT(config.checkpoint_interval, 0.0)
+      << "finite MTBF requires a checkpoint interval";
+  const SimTime m = config.system_mtbf;
+  const SimTime tau = config.checkpoint_interval;
+  const SimTime delta = config.checkpoint_write;
+  const SimTime r = config.detection_latency + config.restart_seconds;
+  const double segments = base_seconds / tau;
+  result.expected_seconds =
+      m * std::exp(r / m) * std::expm1((tau + delta) / m) * segments;
+  result.expected_failures = result.expected_seconds / m;
+  result.checkpoint_overhead_seconds = segments * delta;
+  return result;
+}
+
+SimTime YoungCheckpointInterval(SimTime checkpoint_write,
+                                SimTime system_mtbf) {
+  TPU_CHECK_GT(checkpoint_write, 0.0);
+  TPU_CHECK_GT(system_mtbf, 0.0);
+  return std::sqrt(2.0 * checkpoint_write * system_mtbf);
+}
+
+std::vector<IntervalSample> SweepCheckpointInterval(
+    SimTime base_seconds, const GoodputConfig& config,
+    const std::vector<SimTime>& intervals) {
+  std::vector<IntervalSample> samples;
+  samples.reserve(intervals.size());
+  GoodputConfig point = config;
+  for (const SimTime interval : intervals) {
+    point.checkpoint_interval = interval;
+    samples.push_back(
+        {interval, ExpectedRunTime(base_seconds, point).expected_seconds});
+  }
+  return samples;
+}
+
+SimTime OptimalCheckpointInterval(SimTime base_seconds,
+                                  const GoodputConfig& config, SimTime lo,
+                                  SimTime hi) {
+  TPU_CHECK_GT(lo, 0.0);
+  TPU_CHECK_GT(hi, lo);
+  const auto expected = [&](SimTime tau) {
+    GoodputConfig point = config;
+    point.checkpoint_interval = tau;
+    return ExpectedRunTime(base_seconds, point).expected_seconds;
+  };
+  // Golden-section search; the Daly curve is unimodal in tau.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  SimTime a = lo, b = hi;
+  SimTime c = b - phi * (b - a);
+  SimTime d = a + phi * (b - a);
+  SimTime fc = expected(c), fd = expected(d);
+  for (int i = 0; i < 80 && (b - a) > 1e-9 * hi; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = expected(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = expected(d);
+    }
+  }
+  return (a + b) / 2;
+}
+
+SimTime SystemMtbf(int num_chips, SimTime chip_mtbf, int num_hosts,
+                   SimTime host_preemption_mtbf) {
+  TPU_CHECK_GT(num_chips, 0);
+  TPU_CHECK_GT(num_hosts, 0);
+  double rate = 0;
+  if (chip_mtbf > 0 && !std::isinf(chip_mtbf)) rate += num_chips / chip_mtbf;
+  if (host_preemption_mtbf > 0 && !std::isinf(host_preemption_mtbf)) {
+    rate += num_hosts / host_preemption_mtbf;
+  }
+  return rate > 0 ? 1.0 / rate : 0.0;
+}
+
+}  // namespace tpu::fault

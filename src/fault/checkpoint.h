@@ -1,0 +1,115 @@
+// Checkpoint/restart cost model and expected-makespan ("goodput") math.
+//
+// Checkpoint write: every host drains its chips' weight shards over PCIe and
+// ships them (with replication) over the datacenter network; hosts work in
+// parallel, so the write time is per-host bytes over the slower of the two
+// pipes, plus a small quiesce barrier. Restore pays the reverse path plus the
+// framework re-initialization measured by frameworks::EstimateInitTime —
+// Table 2's minutes-long TF init is exactly why restart cost dominates
+// recovery at multipod scale.
+//
+// Expected end-to-end time under failures follows the classic first-order
+// checkpoint model (Young '74 / Daly '06): useful work in intervals of tau,
+// each followed by a write of delta; failures arrive Poisson with system
+// MTBF M; each failure costs detection + restart R plus the partial interval
+// redone. Small tau wastes time writing checkpoints, large tau wastes time
+// re-executing lost work — the expected time is decreasing-then-increasing
+// in tau with an interior optimum near Young's sqrt(2 * delta * M).
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "frameworks/runtime_model.h"
+#include "models/model_specs.h"
+
+namespace tpu::fault {
+
+struct CheckpointConfig {
+  // Device -> host readback, per host (4 chips share one host's PCIe).
+  Bandwidth host_pcie_bandwidth = GBps(16.0);
+  // Host -> durable storage over the datacenter network, per host.
+  Bandwidth host_dcn_bandwidth = GBps(1.5);
+  // Bytes written to storage per byte of state (durability replication).
+  double storage_replication = 2.0;
+  // Quiesce/barrier overhead to get a consistent cut of the weights.
+  SimTime barrier_overhead = Millis(10);
+  // Optimizer slot variables checkpointed alongside each weight (momentum,
+  // LAMB/LARS norms...): bytes multiplier on the dense parameters.
+  double optimizer_state_factor = 2.0;
+};
+
+// Bytes of training state a checkpoint must capture for `spec`: dense
+// weights + optimizer slots (f32) + partitioned embedding tables.
+Bytes TrainingStateBytes(const models::ModelSpec& spec,
+                         const CheckpointConfig& config = {});
+
+struct CheckpointCosts {
+  Bytes state_bytes = 0;
+  SimTime write_seconds = 0;    // one checkpoint write
+  SimTime restore_seconds = 0;  // read back + redistribute (no re-init)
+};
+
+// State is sharded across hosts, so per-host bytes shrink with scale: at
+// 4096 chips (1024 hosts) checkpointing is cheap, which is what makes short
+// checkpoint intervals affordable exactly where MTBF is worst.
+CheckpointCosts EstimateCheckpointCosts(const models::ModelSpec& spec,
+                                        int num_hosts,
+                                        const CheckpointConfig& config = {});
+
+struct GoodputConfig {
+  // System-level mean time between fatal failures. <= 0 or +inf means
+  // failure-free: no failures can occur, no checkpoints are needed, and the
+  // expected time degenerates *exactly* to the failure-free time.
+  SimTime system_mtbf = 0;
+  // Useful work between checkpoints (tau).
+  SimTime checkpoint_interval = 0;
+  SimTime checkpoint_write = 0;      // delta
+  SimTime detection_latency = 0;     // health-monitor deadline
+  SimTime restart_seconds = 0;       // restore + framework re-init
+};
+
+struct GoodputResult {
+  SimTime base_seconds = 0;      // failure-free makespan
+  SimTime expected_seconds = 0;  // expected makespan under failures
+  double expected_failures = 0;  // expected fatal faults over the run
+  SimTime checkpoint_overhead_seconds = 0;  // writes alone, failure-free
+
+  // Fraction of the expected wall time that is useful training.
+  double goodput() const {
+    return expected_seconds > 0 ? base_seconds / expected_seconds : 1.0;
+  }
+};
+
+// Daly's expected makespan: M * e^{R/M} * (e^{(tau+delta)/M} - 1) * base/tau,
+// with R = detection + restart. Exact degeneration to `base_seconds` when
+// the MTBF is non-finite (see GoodputConfig::system_mtbf).
+GoodputResult ExpectedRunTime(SimTime base_seconds,
+                              const GoodputConfig& config);
+
+// Young's closed-form near-optimal interval sqrt(2 * delta * M).
+SimTime YoungCheckpointInterval(SimTime checkpoint_write, SimTime system_mtbf);
+
+struct IntervalSample {
+  SimTime interval = 0;
+  SimTime expected_seconds = 0;
+};
+
+// Expected makespan at each interval in `intervals` (the classic sweep).
+std::vector<IntervalSample> SweepCheckpointInterval(
+    SimTime base_seconds, const GoodputConfig& config,
+    const std::vector<SimTime>& intervals);
+
+// Numeric argmin of the expected makespan over [lo, hi] (golden-section on
+// the unimodal Daly curve). Returns the optimal interval.
+SimTime OptimalCheckpointInterval(SimTime base_seconds,
+                                  const GoodputConfig& config, SimTime lo,
+                                  SimTime hi);
+
+// System MTBF from per-unit rates: failure rates add, so
+// 1/M = chips/chip_mtbf + hosts/host_mtbf (terms with mtbf <= 0 drop out).
+// Returns a value <= 0 when no fatal fault class is enabled (failure-free).
+SimTime SystemMtbf(int num_chips, SimTime chip_mtbf, int num_hosts,
+                   SimTime host_preemption_mtbf);
+
+}  // namespace tpu::fault

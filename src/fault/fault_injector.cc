@@ -1,0 +1,230 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/check.h"
+
+namespace tpu::fault {
+namespace {
+
+// Seed-derived stream per (fault class, unit index): SplitMix64-style mixing
+// so neighboring units get uncorrelated streams regardless of how many units
+// each class has.
+std::uint64_t UnitSeed(std::uint64_t seed, FaultKind kind, std::int64_t unit) {
+  std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ULL *
+                            (static_cast<std::uint64_t>(kind) + 1));
+  x ^= 0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(unit + 1);
+  return x;
+}
+
+// Poisson arrivals for one unit over [0, horizon). `first_only` models
+// permanent faults (the unit cannot fail twice).
+void AppendArrivals(FaultKind kind, std::int64_t unit, SimTime mtbf,
+                    SimTime horizon, std::uint64_t seed, bool first_only,
+                    const std::function<FaultEvent(SimTime, Rng&)>& make,
+                    std::vector<FaultEvent>* out) {
+  if (mtbf <= 0) return;
+  Rng rng(UnitSeed(seed, kind, unit));
+  SimTime t = rng.NextExponential(mtbf);
+  while (t < horizon) {
+    out->push_back(make(t, rng));
+    if (first_only) break;
+    t += rng.NextExponential(mtbf);
+  }
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kChipFailure:
+      return "chip-failure";
+    case FaultKind::kLinkFlap:
+      return "link-flap";
+    case FaultKind::kHostPreemption:
+      return "host-preemption";
+    case FaultKind::kSlowHost:
+      return "slow-host";
+  }
+  return "unknown";
+}
+
+std::vector<FaultEvent> GenerateFaultSchedule(const topo::MeshTopology& topo,
+                                              const FaultModelConfig& config,
+                                              SimTime horizon) {
+  TPU_CHECK_GE(horizon, 0.0);
+  std::vector<FaultEvent> events;
+
+  for (topo::ChipId chip = 0; chip < topo.num_chips(); ++chip) {
+    AppendArrivals(FaultKind::kChipFailure, chip, config.chip_mtbf, horizon,
+                   config.seed, /*first_only=*/true,
+                   [&](SimTime t, Rng&) {
+                     FaultEvent e;
+                     e.kind = FaultKind::kChipFailure;
+                     e.at = t;
+                     e.chip = chip;
+                     return e;
+                   },
+                   &events);
+  }
+  for (std::size_t link = 0; link < topo.links().size(); ++link) {
+    AppendArrivals(
+        FaultKind::kLinkFlap, static_cast<std::int64_t>(link),
+        config.link_flap_mtbf, horizon, config.seed, /*first_only=*/false,
+        [&](SimTime t, Rng& rng) {
+          FaultEvent e;
+          e.kind = FaultKind::kLinkFlap;
+          e.at = t;
+          e.link = static_cast<topo::LinkId>(link);
+          e.duration = rng.NextExponential(config.link_flap_mean_duration);
+          e.degrade_factor = config.link_flap_degrade_factor;
+          return e;
+        },
+        &events);
+  }
+  for (topo::HostId host = 0; host < topo.num_hosts(); ++host) {
+    AppendArrivals(
+        FaultKind::kHostPreemption, host, config.host_preemption_mtbf, horizon,
+        config.seed, /*first_only=*/false,
+        [&](SimTime t, Rng& rng) {
+          FaultEvent e;
+          e.kind = FaultKind::kHostPreemption;
+          e.at = t;
+          e.host = host;
+          e.duration =
+              rng.NextExponential(config.host_preemption_mean_duration);
+          return e;
+        },
+        &events);
+    AppendArrivals(
+        FaultKind::kSlowHost, host, config.slow_host_mtbf, horizon,
+        config.seed, /*first_only=*/false,
+        [&](SimTime t, Rng& rng) {
+          FaultEvent e;
+          e.kind = FaultKind::kSlowHost;
+          e.at = t;
+          e.host = host;
+          e.duration = rng.NextExponential(config.slow_host_mean_duration);
+          e.degrade_factor = config.slow_host_degrade_factor;
+          return e;
+        },
+        &events);
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.chip != b.chip) return a.chip < b.chip;
+              if (a.link != b.link) return a.link < b.link;
+              return a.host < b.host;
+            });
+  return events;
+}
+
+FaultInjector::FaultInjector(net::Network* network,
+                             const FaultModelConfig& config)
+    : network_(network), config_(config) {
+  TPU_CHECK(network != nullptr);
+}
+
+std::vector<topo::LinkId> FaultInjector::LinksOfChip(topo::ChipId chip) const {
+  std::vector<topo::LinkId> links;
+  for (const topo::Link& link : network_->topology().links()) {
+    if (link.from == chip || link.to == chip) links.push_back(link.id);
+  }
+  return links;
+}
+
+std::vector<topo::LinkId> FaultInjector::LinksOfHost(topo::HostId host) const {
+  std::vector<topo::LinkId> links;
+  const std::vector<topo::ChipId> chips =
+      network_->topology().ChipsOfHost(host);
+  for (const topo::Link& link : network_->topology().links()) {
+    for (const topo::ChipId chip : chips) {
+      if (link.from == chip || link.to == chip) {
+        links.push_back(link.id);
+        break;
+      }
+    }
+  }
+  return links;
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  sim::Simulator& simulator = network_->simulator();
+  // Transient faults heal by full restore. Overlapping faults on the same
+  // link resolve last-writer-wins — acceptable for the rare double fault; a
+  // permanent failure re-failing the link on overlap is not modeled.
+  auto schedule_heal = [&](const std::vector<topo::LinkId>& links,
+                           SimTime duration) {
+    if (duration <= 0) return;
+    net::Network* network = network_;
+    simulator.Schedule(duration, [network, links] {
+      for (const topo::LinkId link : links) network->RestoreLink(link);
+    });
+  };
+
+  switch (event.kind) {
+    case FaultKind::kChipFailure: {
+      TPU_CHECK_GE(event.chip, 0);
+      for (const topo::LinkId link : LinksOfChip(event.chip)) {
+        network_->FailLink(link);
+      }
+      break;
+    }
+    case FaultKind::kLinkFlap: {
+      TPU_CHECK_GE(event.link, 0);
+      network_->DegradeLink(event.link, event.degrade_factor);
+      schedule_heal({event.link}, event.duration);
+      break;
+    }
+    case FaultKind::kHostPreemption: {
+      TPU_CHECK_GE(event.host, 0);
+      const std::vector<topo::LinkId> links = LinksOfHost(event.host);
+      for (const topo::LinkId link : links) network_->FailLink(link);
+      schedule_heal(links, event.duration);
+      break;
+    }
+    case FaultKind::kSlowHost: {
+      TPU_CHECK_GE(event.host, 0);
+      const std::vector<topo::LinkId> links = LinksOfHost(event.host);
+      for (const topo::LinkId link : links) {
+        network_->DegradeLink(link, event.degrade_factor);
+      }
+      schedule_heal(links, event.duration);
+      break;
+    }
+  }
+  injected_.push_back(event);
+}
+
+int FaultInjector::Arm(SimTime horizon) {
+  schedule_ = GenerateFaultSchedule(network_->topology(), config_, horizon);
+  sim::Simulator& simulator = network_->simulator();
+  for (const FaultEvent& event : schedule_) {
+    simulator.ScheduleAt(simulator.now() + event.at,
+                         [this, event] { Apply(event); });
+  }
+  return static_cast<int>(schedule_.size());
+}
+
+bool FaultInjector::AnyFaultActiveIn(SimTime begin, SimTime end) const {
+  for (const FaultEvent& event : injected_) {
+    const SimTime fault_end =
+        event.permanent() ? end : std::min(end, event.at + event.duration);
+    if (event.at < end && fault_end > begin) return true;
+  }
+  return false;
+}
+
+int FaultInjector::permanent_failures() const {
+  int count = 0;
+  for (const FaultEvent& event : injected_) {
+    count += event.kind == FaultKind::kChipFailure ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace tpu::fault

@@ -1,0 +1,118 @@
+// Deterministic, seeded fault injection for the multipod simulation.
+//
+// The paper's 4096-chip runs assume a dedicated, healthy machine: every step
+// is a globally synchronous barrier, so a single flaky optical link, a
+// preempted host or a dead chip stalls or kills the whole run. This module
+// supplies the missing failure model: an MTBF-driven Poisson schedule of
+// fault events over the simulated clock, applied to the Network's per-link
+// state (DegradeLink / FailLink / RestoreLink). Everything is a pure function
+// of (seed, topology, config, horizon) — same inputs, bit-identical schedule
+// and simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "network/network.h"
+#include "topology/topology.h"
+
+namespace tpu::fault {
+
+enum class FaultKind {
+  kChipFailure,     // permanent: every link touching the chip fails
+  kLinkFlap,        // transient: one directed link degrades, then heals
+  kHostPreemption,  // transient: all links of the host's chips fail, then heal
+  kSlowHost,        // transient straggler: the host's links degrade mildly
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkFlap;
+  SimTime at = 0;        // injection time on the simulated clock
+  SimTime duration = 0;  // healing delay; 0 = permanent
+  topo::ChipId chip = -1;  // kChipFailure
+  topo::LinkId link = -1;  // kLinkFlap
+  topo::HostId host = -1;  // kHostPreemption / kSlowHost
+  double degrade_factor = 1.0;  // kLinkFlap / kSlowHost
+
+  SimTime heal_at() const { return duration > 0 ? at + duration : -1.0; }
+  bool permanent() const { return duration <= 0; }
+  bool ActiveAt(SimTime now) const {
+    return now >= at && (permanent() || now < at + duration);
+  }
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultModelConfig {
+  std::uint64_t seed = 0;
+
+  // Mean time between failures per unit (chip / directed link / host).
+  // A rate of <= 0 disables that fault class.
+  SimTime chip_mtbf = 0;             // permanent chip death
+  SimTime link_flap_mtbf = 0;        // transient optical-link flap
+  SimTime host_preemption_mtbf = 0;  // scheduler reclaims the host
+  SimTime slow_host_mtbf = 0;        // thermally/os-noise slowed host
+
+  // Transient-fault shapes.
+  SimTime link_flap_mean_duration = Seconds(30);
+  double link_flap_degrade_factor = 8.0;
+  SimTime host_preemption_mean_duration = Seconds(120);
+  SimTime slow_host_mean_duration = Seconds(300);
+  double slow_host_degrade_factor = 2.0;
+
+  bool any_enabled() const {
+    return chip_mtbf > 0 || link_flap_mtbf > 0 || host_preemption_mtbf > 0 ||
+           slow_host_mtbf > 0;
+  }
+};
+
+// Samples the fault schedule over [0, horizon): per unit, exponential
+// inter-arrival times at the configured MTBF (chip failures keep only the
+// first arrival — the chip stays dead). Events are sorted by (time, kind,
+// unit id), and each unit draws from its own seed-derived RNG stream, so the
+// schedule is independent of iteration order and bit-reproducible.
+std::vector<FaultEvent> GenerateFaultSchedule(const topo::MeshTopology& topo,
+                                              const FaultModelConfig& config,
+                                              SimTime horizon);
+
+// Binds a fault schedule to a live Network: Arm() schedules every event (and
+// its healing) on the network's simulator clock, so faults fire while a
+// collective is in flight — exactly the mid-phase stall a HealthMonitor's
+// deadlines are meant to catch.
+class FaultInjector {
+ public:
+  FaultInjector(net::Network* network, const FaultModelConfig& config);
+
+  // Generates the schedule over [0, horizon) and schedules each event.
+  // Returns the number of events armed.
+  int Arm(SimTime horizon);
+
+  // Applies one event to the network now, scheduling its healing if the
+  // event is transient. Exposed so tests can inject hand-written faults.
+  void Apply(const FaultEvent& event);
+
+  // Every event applied so far (armed events appear once they fire).
+  const std::vector<FaultEvent>& injected() const { return injected_; }
+  // Schedule produced by the last Arm() call, in firing order.
+  const std::vector<FaultEvent>& schedule() const { return schedule_; }
+
+  // Ground truth for detector accounting: was any injected fault active
+  // (i.e. its links still degraded/failed) during [begin, end)?
+  bool AnyFaultActiveIn(SimTime begin, SimTime end) const;
+  int permanent_failures() const;
+
+ private:
+  // The directed links a chip-level or host-level fault touches.
+  std::vector<topo::LinkId> LinksOfChip(topo::ChipId chip) const;
+  std::vector<topo::LinkId> LinksOfHost(topo::HostId host) const;
+
+  net::Network* network_;
+  FaultModelConfig config_;
+  std::vector<FaultEvent> schedule_;
+  std::vector<FaultEvent> injected_;
+};
+
+}  // namespace tpu::fault

@@ -1,0 +1,46 @@
+#include "fault/health_monitor.h"
+
+#include "common/check.h"
+
+namespace tpu::fault {
+
+HealthMonitor::HealthMonitor(HealthMonitorConfig config) : config_(config) {
+  TPU_CHECK_GT(config_.deadline_multiple, 0.0);
+  TPU_CHECK_GE(config_.min_deadline, 0.0);
+}
+
+SimTime HealthMonitor::DeadlineFor(SimTime expected) const {
+  return config_.ToPhaseDeadline().DeadlineFor(expected);
+}
+
+SimTime HealthMonitor::Observe(const PhaseObservation& observation) {
+  const SimTime deadline = DeadlineFor(observation.expected);
+  const bool detected = observation.actual > deadline;
+  ++stats_.phases_observed;
+  if (detected) {
+    ++stats_.detections;
+    stats_.total_detection_latency += deadline;
+    if (observation.fault_active) {
+      ++stats_.true_detections;
+    } else {
+      ++stats_.false_positives;
+    }
+    return observation.start + deadline;
+  }
+  if (observation.fault_active) ++stats_.missed_faults;
+  return -1.0;
+}
+
+void HealthMonitor::ObserveSummation(
+    const coll::GradientSummationResult& result, bool fault_active) {
+  for (const coll::PhaseTiming& phase : result.phases) {
+    PhaseObservation observation;
+    observation.start = phase.start;
+    observation.expected = phase.expected;
+    observation.actual = phase.actual;
+    observation.fault_active = fault_active;
+    Observe(observation);
+  }
+}
+
+}  // namespace tpu::fault

@@ -1,0 +1,85 @@
+// Failure detection the way a real synchronous runtime does it: per
+// collective-phase deadlines.
+//
+// A globally synchronous step cannot distinguish "slow" from "dead" except by
+// time: the runtime knows how long a phase *should* take on a healthy
+// interconnect (Network::EstimateArrival) and raises an alarm when the
+// observed phase overruns a configurable multiple of that expectation. The
+// monitor aggregates those observations against the injector's ground truth
+// into the three quantities a recovery design needs: detection latency,
+// false-positive rate, and missed faults.
+#pragma once
+
+#include "collectives/all_reduce.h"
+#include "common/units.h"
+
+namespace tpu::fault {
+
+struct HealthMonitorConfig {
+  // Deadline = max(deadline_multiple * expected, min_deadline). Multiples
+  // below ~2 risk false positives on folded (mesh-dimension) rings, whose
+  // two-edges-per-link contention the healthy estimate does not model.
+  double deadline_multiple = 3.0;
+  SimTime min_deadline = Micros(50);
+
+  coll::PhaseDeadlineConfig ToPhaseDeadline() const {
+    coll::PhaseDeadlineConfig deadline;
+    deadline.multiple = deadline_multiple;
+    deadline.min_deadline = min_deadline;
+    return deadline;
+  }
+};
+
+// One monitored phase, paired with the injector's ground truth.
+struct PhaseObservation {
+  SimTime start = 0;
+  SimTime expected = 0;
+  SimTime actual = 0;
+  bool fault_active = false;  // was an injected fault live during the phase?
+};
+
+struct DetectionStats {
+  int phases_observed = 0;
+  int detections = 0;        // deadline exceeded (true or false)
+  int true_detections = 0;   // exceeded while a fault was active
+  int false_positives = 0;   // exceeded with no fault active
+  int missed_faults = 0;     // fault active but the phase met its deadline
+  SimTime total_detection_latency = 0;  // sum over detections of the deadline
+
+  double false_positive_rate() const {
+    return phases_observed > 0
+               ? static_cast<double>(false_positives) / phases_observed
+               : 0.0;
+  }
+  SimTime mean_detection_latency() const {
+    return detections > 0 ? total_detection_latency / detections : 0.0;
+  }
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthMonitorConfig config = {});
+
+  const HealthMonitorConfig& config() const { return config_; }
+  SimTime DeadlineFor(SimTime expected) const;
+
+  // Scores one phase. Returns the detection time (start + deadline) when the
+  // phase overran its deadline, -1 otherwise. Detection latency is the
+  // deadline itself: the runtime learns of the fault that long after the
+  // phase began, regardless of how much longer the stall actually lasts.
+  SimTime Observe(const PhaseObservation& observation);
+
+  // Feeds every monitored phase of a sequential 2-D summation result.
+  // `fault_active` is the injector's ground truth for the whole summation.
+  void ObserveSummation(const coll::GradientSummationResult& result,
+                        bool fault_active);
+
+  const DetectionStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DetectionStats{}; }
+
+ private:
+  HealthMonitorConfig config_;
+  DetectionStats stats_;
+};
+
+}  // namespace tpu::fault

@@ -14,6 +14,7 @@ Network::Network(const topo::MeshTopology* topology,
     link_resources_.emplace_back(simulator_);
   }
   degradation_.assign(topology_->links().size(), 1.0);
+  failed_.assign(topology_->links().size(), false);
 }
 
 void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
@@ -37,8 +38,12 @@ void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
   for (std::size_t i = 0; i < route.size(); ++i) {
     const topo::Link& link = topology_->link(route[i]);
     const LinkParams& params = config_.ParamsFor(link.type);
-    const SimTime serialize = static_cast<double>(bytes) / params.bandwidth *
-                              degradation_[route[i]];
+    SimTime serialize = static_cast<double>(bytes) / params.bandwidth *
+                        degradation_[route[i]];
+    // A failed link stalls the message: it eventually "arrives" (so the event
+    // queue drains and simulations terminate), but far past any deadline a
+    // health monitor would set.
+    if (failed_[route[i]]) serialize += kFailedLinkStall;
 
     sim::FifoResource& resource = link_resources_[route[i]];
     const SimTime start = resource.ReserveFrom(head, serialize);
@@ -84,8 +89,40 @@ SimTime Network::EstimateArrival(topo::ChipId from, topo::ChipId to,
 void Network::DegradeLink(topo::LinkId link, double factor) {
   TPU_CHECK_GE(link, 0);
   TPU_CHECK_LT(link, static_cast<topo::LinkId>(degradation_.size()));
-  TPU_CHECK_GE(factor, 1.0);
+  TPU_CHECK_GE(factor, 1.0) << "a degradation factor below 1 would speed the "
+                               "link up; use RestoreLink to heal";
   degradation_[link] = factor;
+}
+
+void Network::RestoreLink(topo::LinkId link) {
+  TPU_CHECK_GE(link, 0);
+  TPU_CHECK_LT(link, static_cast<topo::LinkId>(degradation_.size()));
+  degradation_[link] = 1.0;
+  failed_[link] = false;
+}
+
+void Network::FailLink(topo::LinkId link) {
+  TPU_CHECK_GE(link, 0);
+  TPU_CHECK_LT(link, static_cast<topo::LinkId>(failed_.size()));
+  failed_[link] = true;
+}
+
+bool Network::LinkFailed(topo::LinkId link) const {
+  TPU_CHECK_GE(link, 0);
+  TPU_CHECK_LT(link, static_cast<topo::LinkId>(failed_.size()));
+  return failed_[link];
+}
+
+double Network::LinkDegradation(topo::LinkId link) const {
+  TPU_CHECK_GE(link, 0);
+  TPU_CHECK_LT(link, static_cast<topo::LinkId>(degradation_.size()));
+  return degradation_[link];
+}
+
+int Network::failed_link_count() const {
+  int count = 0;
+  for (const bool f : failed_) count += f ? 1 : 0;
+  return count;
 }
 
 double Network::MeanActiveLinkUtilization() const {

@@ -80,7 +80,10 @@ class Network {
             sim::Simulator::Callback on_done);
 
   // Pure function of current link occupancy: the time Send would complete if
-  // issued now. Does not mutate state.
+  // issued now *on healthy links*. Deliberately ignores injected degradation
+  // and failures — this is the expectation that fault-detection deadlines
+  // (fault::HealthMonitor, GradientSummationConfig::deadline) compare the
+  // observed phase time against. Does not mutate state.
   SimTime EstimateArrival(topo::ChipId from, topo::ChipId to,
                           Bytes bytes) const;
 
@@ -91,8 +94,29 @@ class Network {
   double MeanActiveLinkUtilization() const;
 
   // Failure/straggler injection: multiplies the serialization time of one
-  // directed link (a flaky optical link, a congested neighbor). factor >= 1.
+  // directed link (a flaky optical link, a congested neighbor). factor >= 1
+  // (enforced); use RestoreLink to heal.
   void DegradeLink(topo::LinkId link, double factor);
+
+  // Heals a link: clears any degradation or failure, returning the link to
+  // its configured parameters. Timing of traffic sent after the restore is
+  // bit-identical to a never-degraded link.
+  void RestoreLink(topo::LinkId link);
+
+  // Permanent (until restored) link failure: traffic routed through the link
+  // stalls for kFailedLinkStall per byte-less hop rather than completing on
+  // schedule, so a synchronous collective blocked on it visibly exceeds any
+  // sane deadline instead of deadlocking the event queue.
+  void FailLink(topo::LinkId link);
+
+  bool LinkFailed(topo::LinkId link) const;
+  // Current serialization multiplier (1.0 = healthy).
+  double LinkDegradation(topo::LinkId link) const;
+  int failed_link_count() const;
+
+  // Stall charged per hop over a failed link. Large enough to trip any
+  // deadline, small enough that the event queue still drains.
+  static constexpr SimTime kFailedLinkStall = Seconds(3600.0);
 
  private:
   const topo::MeshTopology* topology_;
@@ -100,6 +124,7 @@ class Network {
   sim::Simulator* simulator_;
   std::vector<sim::FifoResource> link_resources_;  // indexed by LinkId
   std::vector<double> degradation_;                // serialize multiplier
+  std::vector<bool> failed_;                       // per-link failure state
   TrafficStats traffic_;
 };
 

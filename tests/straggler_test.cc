@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "collectives/all_reduce.h"
+#include "fault/fault_injector.h"
 #include "network/network.h"
 #include "sim/simulator.h"
 #include "topology/topology.h"
@@ -85,6 +86,89 @@ TEST(Straggler, OneDRingIsMoreExposedThanTwoD) {
   // Simpler robust check: 2-D slowdown stays bounded.
   EXPECT_GE(relative_slowdown(false), 1.0);
   EXPECT_LT(relative_slowdown(true), 6.0);
+}
+
+TEST(Straggler, RestoreLinkReturnsTimingToBaseline) {
+  // Degrading and then healing a link before the run must reproduce the
+  // clean timing bit-exactly: the simulation is deterministic and the link
+  // carries no residual state.
+  const std::int64_t elems = 1 << 18;
+  Rig clean;
+  const SimTime baseline = RunTwoD(clean, elems);
+
+  Rig healed;
+  const auto link = healed.topo.LinkBetween(healed.topo.ChipAt({3, 2}),
+                                            healed.topo.ChipAt({3, 3}));
+  healed.network.DegradeLink(link, 8.0);
+  healed.network.RestoreLink(link);
+  EXPECT_DOUBLE_EQ(healed.network.LinkDegradation(link), 1.0);
+  const SimTime restored = RunTwoD(healed, elems);
+  EXPECT_EQ(restored, baseline);
+}
+
+TEST(Straggler, RestoreClearsFailureToo) {
+  const std::int64_t elems = 1 << 16;
+  Rig clean;
+  const SimTime baseline = RunTwoD(clean, elems);
+
+  Rig healed;
+  const auto link = healed.topo.LinkBetween(healed.topo.ChipAt({3, 2}),
+                                            healed.topo.ChipAt({3, 3}));
+  healed.network.FailLink(link);
+  EXPECT_TRUE(healed.network.LinkFailed(link));
+  healed.network.RestoreLink(link);
+  EXPECT_FALSE(healed.network.LinkFailed(link));
+  EXPECT_EQ(healed.network.failed_link_count(), 0);
+  EXPECT_EQ(RunTwoD(healed, elems), baseline);
+}
+
+TEST(Straggler, ZeroByteMessageStillPaysOverheadOnDegradedLink) {
+  // Control messages (0 bytes) pay hop latency + per-message overhead but no
+  // serialization, so degrading a link must not change their cost — and the
+  // cost is strictly positive either way.
+  auto zero_byte_send = [](Rig& rig, bool degrade) {
+    const auto src = rig.topo.ChipAt({3, 2});
+    const auto dst = rig.topo.ChipAt({3, 3});
+    if (degrade) {
+      rig.network.DegradeLink(rig.topo.LinkBetween(src, dst), 8.0);
+    }
+    SimTime arrival = -1.0;
+    rig.network.Send(src, dst, /*bytes=*/0,
+                     [&] { arrival = rig.simulator.now(); });
+    rig.simulator.Run();
+    return arrival;
+  };
+  Rig plain;
+  Rig degraded;
+  const SimTime clean_arrival = zero_byte_send(plain, false);
+  const SimTime degraded_arrival = zero_byte_send(degraded, true);
+  EXPECT_GT(clean_arrival, 0.0);
+  EXPECT_EQ(degraded_arrival, clean_arrival);
+}
+
+TEST(Straggler, InjectedFaultsAreBitReproducible) {
+  // Two identical rigs with the same fault seed must produce bit-identical
+  // collective timings, fault schedules, and link states.
+  const std::int64_t elems = 1 << 18;
+  fault::FaultModelConfig config;
+  config.seed = 12345;
+  config.link_flap_mtbf = Seconds(2);  // dense flaps inside the run
+  config.link_flap_mean_duration = Millis(5);
+  config.slow_host_mtbf = Seconds(20);
+
+  auto run = [&](Rig& rig) {
+    fault::FaultInjector injector(&rig.network, config);
+    const int armed = injector.Arm(/*horizon=*/Seconds(1));
+    EXPECT_GT(armed, 0);
+    const SimTime total = RunTwoD(rig, elems);
+    return std::make_pair(total, injector.schedule());
+  };
+  Rig a;
+  Rig b;
+  const auto [total_a, schedule_a] = run(a);
+  const auto [total_b, schedule_b] = run(b);
+  EXPECT_EQ(total_a, total_b);
+  EXPECT_EQ(schedule_a, schedule_b);
 }
 
 TEST(Utilization, MeanAndMaxAreConsistent) {
