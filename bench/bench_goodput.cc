@@ -19,15 +19,23 @@ int main() {
   bench::Header("Goodput under failures — BERT, chips x MTBF x interval",
                 "fault-tolerance extension (Young/Daly checkpoint model)");
 
+  // --smoke (CI): one small scale, one MTBF, table sections skipped — a
+  // seconds-scale run that still exercises the traced simulation path.
+  const bool smoke = bench::Smoke();
+
   // Per-chip MTBF scenarios: optimistic (~8 months), typical (~2 months),
   // pessimistic preemptible fleet (~2 weeks).
-  const SimTime kChipMtbfs[] = {Seconds(2e7), Seconds(5e6), Seconds(1.2e6)};
+  const std::vector<SimTime> kChipMtbfs =
+      smoke ? std::vector<SimTime>{Seconds(5e6)}
+            : std::vector<SimTime>{Seconds(2e7), Seconds(5e6), Seconds(1.2e6)};
+  const std::vector<int> kChips =
+      smoke ? std::vector<int>{256} : std::vector<int>{512, 1024, 2048, 4096};
 
   bench::Row("%5s %6s | %9s %8s %8s | %9s %9s | %9s %8s %9s", "chips",
              "mtbf_d", "base_min", "sysM_min", "ckpt_s", "tau*_s", "young_s",
              "exp_min", "goodput", "E[fail]");
 
-  for (const int chips : {512, 1024, 2048, 4096}) {
+  for (const int chips : kChips) {
     core::MultipodSystem system(chips);
     const std::int64_t batch =
         static_cast<std::int64_t>(bench::BertPerChipBatch(chips)) * chips;
@@ -49,6 +57,8 @@ int main() {
           result.goodput, result.expected_failures);
     }
   }
+
+  if (smoke) return 0;
 
   // The classic interval sweep at the worst point (4096 chips, preemptible
   // fleet): expected time falls, bottoms out near Young's interval, rises.

@@ -3,16 +3,145 @@
 // series point and prints them in the paper's format, with the published
 // value alongside where the paper gives one (EXPERIMENTS.md records the
 // comparison).
+//
+// Every bench also understands three observability flags, parsed from
+// /proc/self/cmdline (benches keep their argument-less main()) with
+// environment-variable fallbacks:
+//   --trace=PATH    (TPU_BENCH_TRACE=PATH)    write a Chrome trace to PATH
+//   --metrics       (TPU_BENCH_METRICS=1)     dump the metrics registry on
+//   --metrics=PATH  (TPU_BENCH_METRICS=PATH)  exit (text to stderr, or JSON
+//                                             to PATH)
+//   --smoke         (TPU_BENCH_SMOKE=1)       reduced-scale run (benches opt
+//                                             in via bench::Smoke())
+// Header() installs the process-global recorder/registry; files are written
+// by an atexit hook so benches need no per-bench changes.
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
 namespace tpu::bench {
+namespace internal {
+
+struct ObservabilityEnv {
+  trace::TraceRecorder recorder;
+  trace::MetricsRegistry metrics;
+  std::string trace_path;
+  std::string metrics_path;  // empty with metrics_on: text dump to stderr
+  bool metrics_on = false;
+  bool smoke = false;
+  bool initialized = false;
+};
+
+inline ObservabilityEnv& Env() {
+  static ObservabilityEnv env;
+  return env;
+}
+
+inline std::vector<std::string> CommandLineArgs() {
+  std::vector<std::string> args;
+  if (std::FILE* f = std::fopen("/proc/self/cmdline", "rb")) {
+    std::string raw;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) raw.append(buf, n);
+    std::fclose(f);
+    std::size_t begin = 0;
+    while (begin < raw.size()) {
+      const std::size_t end = raw.find('\0', begin);
+      const std::size_t stop = end == std::string::npos ? raw.size() : end;
+      if (stop > begin) args.emplace_back(raw.substr(begin, stop - begin));
+      begin = stop + 1;
+    }
+  }
+  return args;
+}
+
+inline void FlushObservability() {
+  ObservabilityEnv& env = Env();
+  if (!env.trace_path.empty() && env.recorder.event_count() > 0) {
+    if (env.recorder.WriteFile(env.trace_path)) {
+      std::fprintf(stderr, "trace: %zu events -> %s\n",
+                   env.recorder.event_count(), env.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n",
+                   env.trace_path.c_str());
+    }
+  }
+  if (env.metrics_on && !env.metrics.empty()) {
+    if (env.metrics_path.empty()) {
+      std::ostringstream out;
+      env.metrics.WriteText(out);
+      std::fprintf(stderr, "\n--- metrics ---\n%s", out.str().c_str());
+    } else {
+      std::ofstream out(env.metrics_path);
+      env.metrics.WriteJson(out);
+      std::fprintf(stderr, "metrics -> %s\n", env.metrics_path.c_str());
+    }
+  }
+}
+
+// Parses the flags once and installs the global recorder/registry. Benches
+// that never pass a flag pay nothing: the globals stay null.
+inline void InitObservability() {
+  ObservabilityEnv& env = Env();
+  if (env.initialized) return;
+  env.initialized = true;
+
+  std::vector<std::string> args = CommandLineArgs();
+  if (const char* v = std::getenv("TPU_BENCH_TRACE")) {
+    args.push_back(std::string("--trace=") + v);
+  }
+  if (const char* v = std::getenv("TPU_BENCH_METRICS")) {
+    args.push_back(std::string(v) == "1" ? "--metrics"
+                                         : std::string("--metrics=") + v);
+  }
+  if (const char* v = std::getenv("TPU_BENCH_SMOKE")) {
+    if (std::string(v) == "1") args.push_back("--smoke");
+  }
+  for (const std::string& arg : args) {
+    if (arg.rfind("--trace=", 0) == 0) {
+      env.trace_path = arg.substr(8);
+    } else if (arg == "--metrics") {
+      env.metrics_on = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      env.metrics_on = true;
+      env.metrics_path = arg.substr(10);
+    } else if (arg == "--smoke") {
+      env.smoke = true;
+    }
+  }
+
+  if (!env.trace_path.empty()) trace::SetCurrentTrace(&env.recorder);
+  if (env.metrics_on) trace::SetCurrentMetrics(&env.metrics);
+  if (!env.trace_path.empty() || env.metrics_on) {
+    std::atexit(FlushObservability);
+  }
+}
+
+}  // namespace internal
+
+// Parses the observability flags and installs the recorder/registry without
+// printing anything — for binaries (examples) that don't use Header().
+inline void Init() { internal::InitObservability(); }
+
+// True when the bench was invoked with --smoke (or TPU_BENCH_SMOKE=1):
+// benches with expensive sweeps substitute a seconds-scale configuration.
+inline bool Smoke() {
+  internal::InitObservability();
+  return internal::Env().smoke;
+}
 
 inline void Header(const std::string& title, const std::string& paper_ref) {
+  internal::InitObservability();
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());
   std::printf("%s\n", std::string(72, '-').c_str());

@@ -6,6 +6,8 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "sim/simulator.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace tpu::coll {
 namespace {
@@ -99,6 +101,7 @@ GradientSummationResult TwoDGradientSummation(
   const Range full{0, config.elems};
 
   sim::Simulator& simulator = network.simulator();
+  trace::TraceRecorder* recorder = trace::CurrentTrace();
 
   // Phase 1: reduce-scatter along Y (one torus ring per column, all
   // concurrent). The Y ring ordering is a function of the y coordinate only,
@@ -112,6 +115,7 @@ GradientSummationResult TwoDGradientSummation(
     spec.data = DataFor(chip_buffers, order);
     spec.order = std::move(order);
     spec.range = full;
+    if (recorder != nullptr) spec.label = "Y x=" + std::to_string(x);
     y_rings.push_back(std::move(spec));
   }
   // Rank of each row within the (shared) Y ring layout.
@@ -139,6 +143,12 @@ GradientSummationResult TwoDGradientSummation(
         spec.data = DataFor(chip_buffers, order);
         spec.order = order;
         spec.range = range;
+        if (recorder != nullptr) {
+          spec.label = "X y=" + std::to_string(y);
+          if (config.model_parallel_stride > 1) {
+            spec.label += " g" + std::to_string(offset);
+          }
+        }
         x_rings.push_back(std::move(spec));
       }
     }
@@ -231,6 +241,40 @@ GradientSummationResult TwoDGradientSummation(
   result.reduce_seconds = end_x_rs - start;
   result.update_seconds = end_update - end_x_rs;
   result.broadcast_seconds = end_y_ag - end_update;
+  result.phase_seconds.y_reduce_scatter = end_y_rs - start;
+  result.phase_seconds.x_reduce_scatter = end_x_rs - end_y_rs;
+  result.phase_seconds.update = end_update - end_x_rs;
+  result.phase_seconds.x_all_gather = end_x_ag - end_update;
+  result.phase_seconds.y_all_gather = end_y_ag - end_x_ag;
+
+  // Phase boundaries are known only after the run, so spans are emitted
+  // retroactively with explicit timestamps: one umbrella B/E pair wrapping a
+  // complete span per phase on the shared summation track.
+  if (recorder != nullptr) {
+    const trace::TraceRecorder::TrackId track =
+        recorder->Track("system", "summation");
+    recorder->Begin(track, "2d-summation", start);
+    recorder->Complete(track, "reduce-scatter-Y", start, end_y_rs);
+    recorder->Complete(track, "reduce-scatter-X", end_y_rs, end_x_rs);
+    recorder->Complete(track, "sharded-update", end_x_rs, end_update);
+    recorder->Complete(track, "broadcast-X", end_update, end_x_ag);
+    recorder->Complete(track, "broadcast-Y", end_x_ag, end_y_ag);
+    recorder->End(track, end_y_ag);
+  }
+  if (trace::MetricsRegistry* metrics = trace::CurrentMetrics()) {
+    metrics->Counter("summation.runs").Add(1);
+    metrics->Histogram("summation.total_us").Record(ToMicros(end_y_ag - start));
+    metrics->Histogram("summation.y_reduce_scatter_us")
+        .Record(ToMicros(result.phase_seconds.y_reduce_scatter));
+    metrics->Histogram("summation.x_reduce_scatter_us")
+        .Record(ToMicros(result.phase_seconds.x_reduce_scatter));
+    metrics->Histogram("summation.update_us")
+        .Record(ToMicros(result.phase_seconds.update));
+    metrics->Histogram("summation.x_all_gather_us")
+        .Record(ToMicros(result.phase_seconds.x_all_gather));
+    metrics->Histogram("summation.y_all_gather_us")
+        .Record(ToMicros(result.phase_seconds.y_all_gather));
+  }
 
   if (monitored) {
     auto record = [&result, &config](const char* name, SimTime phase_start,
@@ -268,6 +312,7 @@ SimTime PipelinedTwoDGradientSummation(
     TPU_CHECK_EQ(static_cast<int>(chip_buffers.size()), topo.num_chips());
   }
   sim::Simulator& simulator = network.simulator();
+  trace::TraceRecorder* recorder = trace::CurrentTrace();
   const SimTime start = simulator.now();
 
   // Shared ring layouts (identical for every slice).
@@ -340,6 +385,9 @@ SimTime PipelinedTwoDGradientSummation(
       spec.data = DataFor(chip_buffers, order);
       spec.order = std::move(order);
       spec.range = range;
+      if (recorder != nullptr) {
+        spec.label = "Y s" + std::to_string(c) + " x=" + std::to_string(x);
+      }
       y_rings->push_back(std::move(spec));
     }
     auto x_rings = std::make_shared<std::vector<RingSpec>>();
@@ -356,6 +404,9 @@ SimTime PipelinedTwoDGradientSummation(
           spec.data = DataFor(chip_buffers, order);
           spec.order = order;
           spec.range = owned;
+          if (recorder != nullptr) {
+            spec.label = "X s" + std::to_string(c) + " y=" + std::to_string(y);
+          }
           x_rings->push_back(std::move(spec));
         }
       }
@@ -410,6 +461,18 @@ SimTime PipelinedTwoDGradientSummation(
   simulator.Run();
   TPU_CHECK_GE(completed_at, 0.0);
   const SimTime elapsed = completed_at - start;
+  // Slice phases interleave, so the fused collective gets a single umbrella
+  // span; per-slice phase activity is visible through the ring spans.
+  if (recorder != nullptr) {
+    recorder->Complete(recorder->Track("system", "summation"),
+                       "pipelined-2d-summation x" + std::to_string(chunks),
+                       start, completed_at);
+  }
+  if (trace::MetricsRegistry* metrics = trace::CurrentMetrics()) {
+    metrics->Counter("summation.pipelined_runs").Add(1);
+    metrics->Histogram("summation.pipelined_total_us")
+        .Record(ToMicros(elapsed));
+  }
   if (monitored) {
     report->actual = elapsed;
     report->timed_out = elapsed > report->deadline;

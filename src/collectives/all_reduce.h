@@ -69,10 +69,22 @@ struct PhaseTiming {
   bool timed_out = false;
 };
 
+// Per-phase wall-clock of one 2-D summation, in schedule order. Always
+// filled (unlike `phases` below, which needs deadline monitoring); feeds the
+// step profiler and trace spans.
+struct SummationPhaseSeconds {
+  SimTime y_reduce_scatter = 0;
+  SimTime x_reduce_scatter = 0;
+  SimTime update = 0;  // sharded weight update (0 when no hook)
+  SimTime x_all_gather = 0;
+  SimTime y_all_gather = 0;
+};
+
 struct GradientSummationResult {
   SimTime reduce_seconds = 0;     // Y reduce-scatter + X reduce-scatter
   SimTime update_seconds = 0;     // sharded weight update (if hooked)
   SimTime broadcast_seconds = 0;  // X all-gather + Y all-gather
+  SummationPhaseSeconds phase_seconds;
   // Elements each chip owned at the update point (uniform up to rounding;
   // this is the max across chips).
   std::int64_t max_owned_elems = 0;

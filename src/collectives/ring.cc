@@ -8,6 +8,8 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "sim/simulator.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace tpu::coll {
 namespace {
@@ -138,6 +140,30 @@ void StartRing(net::Network& network, const RingSpec& spec,
   }
   TPU_CHECK_GE(spec.range.begin, 0);
   TPU_CHECK_GE(spec.range.size(), 0);
+
+  // Rings within one collective phase overlap in time, so each gets an async
+  // span (b/e pair keyed by a fresh id) on a shared track rather than a
+  // nested B/E span. Purely observational: the schedule is unchanged.
+  if (trace::TraceRecorder* recorder = trace::CurrentTrace()) {
+    const trace::TraceRecorder::TrackId track =
+        recorder->Track("system", "rings");
+    std::string name = spec.label.empty() ? "ring" : spec.label;
+    name += kind == RingPass::Kind::kReduceScatter ? " reduce-scatter"
+                                                   : " all-gather";
+    const std::uint64_t async_id = recorder->NextAsyncId();
+    sim::Simulator* simulator = &network.simulator();
+    const SimTime begin = simulator->now();
+    recorder->AsyncBegin(track, std::move(name), async_id, begin);
+    on_done = [recorder, track, async_id, simulator, begin,
+               done = std::move(on_done)]() mutable {
+      const SimTime end = simulator->now();
+      recorder->AsyncEnd(track, async_id, end);
+      if (trace::MetricsRegistry* metrics = trace::CurrentMetrics()) {
+        metrics->Histogram("coll.ring_us").Record(ToMicros(end - begin));
+      }
+      done();
+    };
+  }
 
   if (!options.bidirectional || spec.size() <= 2) {
     auto pass = std::make_shared<RingPass>(&network, spec.order, spec.data,

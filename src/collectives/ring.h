@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/units.h"
@@ -48,6 +49,9 @@ struct RingSpec {
   std::vector<topo::ChipId> order;
   std::vector<float*> data;  // empty, or one pointer per ring position
   Range range;               // payload subrange covered by this collective
+  // Trace label prefix for this ring's spans (e.g. "Y x=3"); purely
+  // observational, ignored when tracing is off.
+  std::string label;
 
   int size() const { return static_cast<int>(order.size()); }
   bool has_data() const { return !data.empty(); }

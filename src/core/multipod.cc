@@ -11,6 +11,8 @@
 #include "models/blocks.h"
 #include "sim/simulator.h"
 #include "spmd/spmd.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace tpu::core {
 
@@ -198,7 +200,8 @@ SimTime AllToAllSeconds(const topo::MeshTopology& topology,
 StepBreakdown MultipodSystem::SimulateStep(const models::ModelSpec& spec,
                                            std::int64_t global_batch,
                                            int model_parallel_cores,
-                                           const optim::Optimizer* optimizer) {
+                                           const optim::Optimizer* optimizer,
+                                           trace::StepProfiler* profiler) {
   TPU_CHECK_GE(model_parallel_cores, 1);
   TPU_CHECK_EQ(num_cores() % model_parallel_cores, 0);
   const std::int64_t replicas = num_cores() / model_parallel_cores;
@@ -242,8 +245,18 @@ StepBreakdown MultipodSystem::SimulateStep(const models::ModelSpec& spec,
                                         options_.core.hbm_bandwidth);
     };
   }
-  const coll::GradientSummationResult result =
-      coll::TwoDGradientSummation(network, summation);
+  // The collective runs on a fresh simulator (t = 0); on the trace timeline
+  // it belongs after this step's compute, and successive steps must not
+  // overlap. Shift the recorder clock to lay the collective's spans past
+  // everything recorded so far plus this step's forward+backward.
+  trace::TraceRecorder* recorder = trace::CurrentTrace();
+  trace::MetricsRegistry* metrics = trace::CurrentMetrics();
+  const SimTime trace_base =
+      recorder != nullptr ? recorder->last_timestamp() : 0.0;
+  const coll::GradientSummationResult result = [&] {
+    trace::ScopedTimeOffset offset(recorder, trace_base + step.compute);
+    return coll::TwoDGradientSummation(network, summation);
+  }();
   step.allreduce = result.reduce_seconds + result.broadcast_seconds;
   // Optional overlap of the gradient reduction with backprop: only time
   // actually coverable by compute can be hidden, and never more than the
@@ -268,6 +281,44 @@ StepBreakdown MultipodSystem::SimulateStep(const models::ModelSpec& spec,
         static_cast<Bytes>(global_batch) * 26 * 128 * 4 * 3;
     step.embedding_comm =
         AllToAllSeconds(topology_, options_.network, embedding_bytes);
+  }
+
+  // Compute splits ~1:2 between forward and backward (standard backprop
+  // cost: the backward pass does roughly twice the matmul work).
+  const SimTime forward = step.compute / 3.0;
+  if (recorder != nullptr) {
+    trace::ScopedTimeOffset offset(recorder, trace_base);
+    const trace::TraceRecorder::TrackId track =
+        recorder->Track("system", "step");
+    const SimTime comm_end = step.compute + result.total();
+    const SimTime step_end = comm_end + step.embedding_comm;
+    recorder->Complete(track, std::string("step ") + spec.name, 0.0, step_end);
+    recorder->Complete(track, "forward", 0.0, forward);
+    recorder->Complete(track, "backward", forward, step.compute);
+    if (step.embedding_comm > 0) {
+      recorder->Complete(track, "embedding-comm", comm_end, step_end);
+    }
+  }
+  if (profiler != nullptr) {
+    profiler->BeginStep(spec.name);
+    profiler->Record(trace::StepPhase::kForward, forward);
+    profiler->Record(trace::StepPhase::kBackward, step.compute - forward);
+    profiler->Record(trace::StepPhase::kReduceScatterY,
+                     result.phase_seconds.y_reduce_scatter);
+    profiler->Record(trace::StepPhase::kReduceScatterX,
+                     result.phase_seconds.x_reduce_scatter);
+    profiler->Record(trace::StepPhase::kShardedUpdate, step.weight_update);
+    profiler->Record(trace::StepPhase::kAllGatherX,
+                     result.phase_seconds.x_all_gather);
+    profiler->Record(trace::StepPhase::kAllGatherY,
+                     result.phase_seconds.y_all_gather);
+    profiler->Record(trace::StepPhase::kEmbeddingComm, step.embedding_comm);
+    profiler->EndStep();
+  }
+  if (metrics != nullptr) {
+    metrics->Histogram("step.total_us").Record(ToMicros(step.step()));
+    network.ExportMetrics(*metrics);
+    trace::ExportSimulatorMetrics(simulator, "step.sim", *metrics);
   }
   return step;
 }

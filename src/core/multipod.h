@@ -26,6 +26,7 @@
 #include "network/network.h"
 #include "optim/optimizer.h"
 #include "topology/topology.h"
+#include "trace/step_profiler.h"
 
 namespace tpu::core {
 
@@ -123,10 +124,17 @@ class MultipodSystem {
   // Simulates one training step. `model_parallel_cores` > 1 engages the
   // sharded-weights path (gradient payload 1/mp, X rings hop over peers).
   // `optimizer` drives the weight-update cost; pass nullptr for SGD.
+  // `profiler`, when non-null, receives one profiled step decomposed into
+  // named phases (forward, backward, the five summation phases, embedding
+  // comm). When a trace recorder is installed, the step also lands on the
+  // timeline: the internal collective simulation runs on a fresh clock, so
+  // its spans are shifted past the analytic compute phases via the
+  // recorder's time offset.
   StepBreakdown SimulateStep(const models::ModelSpec& spec,
                              std::int64_t global_batch,
                              int model_parallel_cores,
-                             const optim::Optimizer* optimizer = nullptr);
+                             const optim::Optimizer* optimizer = nullptr,
+                             trace::StepProfiler* profiler = nullptr);
 
   // Full MLPerf run at this scale: steps-to-converge x step time + the
   // evaluation schedule. Framework affects only the eval-metric path (init

@@ -1,9 +1,13 @@
 #include "fault/fault_injector.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
+#include <string>
 
 #include "common/check.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace tpu::fault {
 namespace {
@@ -198,6 +202,29 @@ void FaultInjector::Apply(const FaultEvent& event) {
     }
   }
   injected_.push_back(event);
+
+  // Fault injections show on the timeline as instant events on a shared
+  // "faults" track, named by class and unit (e.g. "link-flap link=42").
+  if (trace::TraceRecorder* recorder = trace::CurrentTrace()) {
+    char name[64];
+    if (event.kind == FaultKind::kChipFailure) {
+      std::snprintf(name, sizeof(name), "chip-failure chip=%d", event.chip);
+    } else if (event.kind == FaultKind::kLinkFlap) {
+      std::snprintf(name, sizeof(name), "link-flap link=%d x%.0f %.3gms",
+                    event.link, event.degrade_factor,
+                    ToMillis(event.duration));
+    } else {
+      std::snprintf(name, sizeof(name), "%s host=%d %.3gms",
+                    FaultKindName(event.kind), event.host,
+                    ToMillis(event.duration));
+    }
+    recorder->Instant(recorder->Track("system", "faults"), name,
+                      simulator.now());
+  }
+  if (trace::MetricsRegistry* metrics = trace::CurrentMetrics()) {
+    metrics->Counter(std::string("fault.injected.") + FaultKindName(event.kind))
+        .Add(1);
+  }
 }
 
 int FaultInjector::Arm(SimTime horizon) {

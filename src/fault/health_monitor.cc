@@ -1,6 +1,8 @@
 #include "fault/health_monitor.h"
 
 #include "common/check.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace tpu::fault {
 
@@ -17,6 +19,11 @@ SimTime HealthMonitor::Observe(const PhaseObservation& observation) {
   const SimTime deadline = DeadlineFor(observation.expected);
   const bool detected = observation.actual > deadline;
   ++stats_.phases_observed;
+  if (trace::MetricsRegistry* metrics = trace::CurrentMetrics()) {
+    metrics->Counter("health.phases_observed").Add(1);
+    metrics->Histogram("health.phase_actual_us")
+        .Record(ToMicros(observation.actual));
+  }
   if (detected) {
     ++stats_.detections;
     stats_.total_detection_latency += deadline;
@@ -25,9 +32,29 @@ SimTime HealthMonitor::Observe(const PhaseObservation& observation) {
     } else {
       ++stats_.false_positives;
     }
+    // The detection fires on the timeline at start + deadline — the moment
+    // the runtime's watchdog would have raised the alarm.
+    if (trace::TraceRecorder* recorder = trace::CurrentTrace()) {
+      recorder->Instant(recorder->Track("system", "faults"),
+                        observation.fault_active ? "detected fault"
+                                                 : "false positive",
+                        observation.start + deadline);
+    }
+    if (trace::MetricsRegistry* metrics = trace::CurrentMetrics()) {
+      metrics->Counter(observation.fault_active ? "health.true_detections"
+                                                : "health.false_positives")
+          .Add(1);
+      metrics->Histogram("health.detection_latency_us")
+          .Record(ToMicros(deadline));
+    }
     return observation.start + deadline;
   }
-  if (observation.fault_active) ++stats_.missed_faults;
+  if (observation.fault_active) {
+    ++stats_.missed_faults;
+    if (trace::MetricsRegistry* metrics = trace::CurrentMetrics()) {
+      metrics->Counter("health.missed_faults").Add(1);
+    }
+  }
   return -1.0;
 }
 

@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace tpu::input {
 
@@ -54,6 +56,13 @@ HostPipelineStats SimulateHostPipeline(const HostPipelineConfig& config,
 
   // Pass 1: unconstrained production times (buffer constraint applied in the
   // device loop below, interleaved, because consumption times feed back).
+  // Observability only: the pipeline model is analytic (no event queue), so
+  // spans are emitted directly from the computed schedule.
+  trace::TraceRecorder* recorder = trace::CurrentTrace();
+  trace::MetricsRegistry* metrics = trace::CurrentMetrics();
+  const trace::TraceRecorder::TrackId input_track =
+      recorder != nullptr ? recorder->Track("system", "host-input") : 0;
+
   std::vector<std::vector<SimTime>> cost(config.num_hosts,
                                          std::vector<SimTime>(total_batches));
   for (int h = 0; h < config.num_hosts; ++h) {
@@ -61,6 +70,9 @@ HostPipelineStats SimulateHostPipeline(const HostPipelineConfig& config,
       cost[h][b] = batch_cost(rng, host_multiplier[h]);
       stats.worst_batch_seconds = std::max(stats.worst_batch_seconds,
                                            cost[h][b]);
+      if (metrics != nullptr) {
+        metrics->Histogram("input.batch_cost_us").Record(ToMicros(cost[h][b]));
+      }
     }
   }
 
@@ -84,6 +96,17 @@ HostPipelineStats SimulateHostPipeline(const HostPipelineConfig& config,
     }
     const SimTime step_start = std::max(device_time, ready);
     stats.total_stall += step_start - device_time;
+    if (recorder != nullptr) {
+      if (step_start > device_time) {
+        recorder->Complete(input_track, "input-wait", device_time, step_start);
+      }
+      recorder->Complete(input_track, "device-step", step_start,
+                         step_start + config.device_step);
+    }
+    if (metrics != nullptr) {
+      metrics->Histogram("input.step_stall_us")
+          .Record(ToMicros(step_start - device_time));
+    }
     device_time = step_start + config.device_step;
     consumed[s] = device_time;
   }
@@ -91,6 +114,12 @@ HostPipelineStats SimulateHostPipeline(const HostPipelineConfig& config,
   stats.stall_fraction =
       stats.total_train_time > 0 ? stats.total_stall / stats.total_train_time
                                  : 0.0;
+  if (metrics != nullptr) {
+    metrics->Counter("input.steps").Add(total_batches);
+    metrics->Gauge("input.stall_fraction").Max(stats.stall_fraction);
+    metrics->Gauge("input.worst_batch_us")
+        .Max(ToMicros(stats.worst_batch_seconds));
+  }
   return stats;
 }
 

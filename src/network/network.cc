@@ -1,8 +1,42 @@
 #include "network/network.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 namespace tpu::net {
+namespace {
+
+const char* LinkTypeName(topo::LinkType type) {
+  switch (type) {
+    case topo::LinkType::kMeshX:
+      return "meshX";
+    case topo::LinkType::kCrossPodX:
+      return "crossX";
+    case topo::LinkType::kMeshY:
+      return "meshY";
+    case topo::LinkType::kWrapY:
+      return "wrapY";
+  }
+  return "link";
+}
+
+std::string BytesLabel(Bytes bytes) {
+  char buf[32];
+  if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "xfer %.1fMiB",
+                  static_cast<double>(bytes) / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "xfer %.1fKiB",
+                  static_cast<double>(bytes) / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "xfer %lldB",
+                  static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace
 
 Network::Network(const topo::MeshTopology* topology,
                  const NetworkConfig& config, sim::Simulator* simulator)
@@ -21,6 +55,9 @@ void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
                    sim::Simulator::Callback on_done) {
   TPU_CHECK_GE(bytes, 0);
   ++traffic_.messages;
+  trace::TraceRecorder* recorder = trace::CurrentTrace();
+  trace::MetricsRegistry* metrics = trace::CurrentMetrics();
+  if (recorder != nullptr) EnsureTraceState(recorder);
   if (from == to) {
     simulator_->Schedule(config_.message_overhead, std::move(on_done));
     return;
@@ -53,6 +90,30 @@ void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
       simulator_->ScheduleAt(start + serialize + params.latency,
                              std::move(on_done));
     }
+
+    if (recorder != nullptr) {
+      // One span per hop on the link's own track; the gap between the hop's
+      // earliest start (`head`) and its actual start is FIFO queueing.
+      const trace::TraceRecorder::TrackId track =
+          LinkTrack(recorder, route[i]);
+      recorder->Complete(track, BytesLabel(bytes), start, start + serialize);
+      if (failed_[route[i]]) {
+        recorder->Instant(track, "failed-link stall", start);
+      }
+      const int pod = PodOf(link.from);
+      recorder->CounterDelta(pod_busy_links_[pod], start, 1.0);
+      recorder->CounterDelta(pod_busy_links_[pod], start + serialize, -1.0);
+      recorder->CounterDelta(pod_bytes_in_flight_[pod], start,
+                             static_cast<double>(bytes));
+      recorder->CounterDelta(pod_bytes_in_flight_[pod],
+                             start + serialize + params.latency,
+                             static_cast<double>(bytes) * -1.0);
+    }
+    if (metrics != nullptr) {
+      metrics->Histogram("net.link_queue_delay_us")
+          .Record(ToMicros(start - head));
+      metrics->Histogram("net.hop_serialize_us").Record(ToMicros(serialize));
+    }
     head = start + serialize + params.latency;
 
     switch (link.type) {
@@ -70,6 +131,55 @@ void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
         break;
     }
   }
+}
+
+int Network::PodOf(topo::ChipId chip) const {
+  return topology_->CoordOf(chip).x / topology_->config().pod_size_x;
+}
+
+void Network::EnsureTraceState(trace::TraceRecorder* recorder) {
+  if (trace_recorder_ == recorder) return;
+  trace_recorder_ = recorder;
+  link_tracks_.assign(topology_->links().size(), -1);
+  const int num_pods = topology_->config().num_pods;
+  pod_bytes_in_flight_.resize(num_pods);
+  pod_busy_links_.resize(num_pods);
+  for (int pod = 0; pod < num_pods; ++pod) {
+    // Anchor each pod's counters to a per-pod track so Perfetto shows them
+    // under the pod's process.
+    const trace::TraceRecorder::TrackId anchor =
+        recorder->Track("pod" + std::to_string(pod), "links");
+    pod_bytes_in_flight_[pod] = recorder->Counter(anchor, "bytes_in_flight");
+    pod_busy_links_[pod] = recorder->Counter(anchor, "busy_links");
+  }
+}
+
+trace::TraceRecorder::TrackId Network::LinkTrack(
+    trace::TraceRecorder* recorder, topo::LinkId link_id) {
+  trace::TraceRecorder::TrackId& cached = link_tracks_[link_id];
+  if (cached >= 0) return cached;
+  const topo::Link& link = topology_->link(link_id);
+  const topo::Coord from = topology_->CoordOf(link.from);
+  const topo::Coord to = topology_->CoordOf(link.to);
+  char name[96];
+  std::snprintf(name, sizeof(name), "link %d (%d,%d)->(%d,%d) %s",
+                static_cast<int>(link_id), from.x, from.y, to.x, to.y,
+                LinkTypeName(link.type));
+  cached = recorder->Track("pod" + std::to_string(PodOf(link.from)), name);
+  return cached;
+}
+
+void Network::ExportMetrics(trace::MetricsRegistry& metrics) const {
+  metrics.Counter("net.messages").Add(traffic_.messages);
+  metrics.Counter("net.bytes.mesh_x").Add(traffic_.mesh_x_bytes);
+  metrics.Counter("net.bytes.cross_pod_x").Add(traffic_.cross_pod_x_bytes);
+  metrics.Counter("net.bytes.mesh_y").Add(traffic_.mesh_y_bytes);
+  metrics.Counter("net.bytes.wrap_y").Add(traffic_.wrap_y_bytes);
+  metrics.Gauge("net.max_link_utilization").Max(MaxLinkUtilization());
+  metrics.Gauge("net.mean_active_link_utilization")
+      .Max(MeanActiveLinkUtilization());
+  metrics.Gauge("net.failed_links")
+      .Max(static_cast<double>(failed_link_count()));
 }
 
 SimTime Network::EstimateArrival(topo::ChipId from, topo::ChipId to,
@@ -92,6 +202,12 @@ void Network::DegradeLink(topo::LinkId link, double factor) {
   TPU_CHECK_GE(factor, 1.0) << "a degradation factor below 1 would speed the "
                                "link up; use RestoreLink to heal";
   degradation_[link] = factor;
+  if (trace::TraceRecorder* recorder = trace::CurrentTrace()) {
+    EnsureTraceState(recorder);
+    char label[48];
+    std::snprintf(label, sizeof(label), "degraded x%.1f", factor);
+    recorder->Instant(LinkTrack(recorder, link), label, simulator_->now());
+  }
 }
 
 void Network::RestoreLink(topo::LinkId link) {
@@ -99,12 +215,22 @@ void Network::RestoreLink(topo::LinkId link) {
   TPU_CHECK_LT(link, static_cast<topo::LinkId>(degradation_.size()));
   degradation_[link] = 1.0;
   failed_[link] = false;
+  if (trace::TraceRecorder* recorder = trace::CurrentTrace()) {
+    EnsureTraceState(recorder);
+    recorder->Instant(LinkTrack(recorder, link), "link restored",
+                      simulator_->now());
+  }
 }
 
 void Network::FailLink(topo::LinkId link) {
   TPU_CHECK_GE(link, 0);
   TPU_CHECK_LT(link, static_cast<topo::LinkId>(failed_.size()));
   failed_[link] = true;
+  if (trace::TraceRecorder* recorder = trace::CurrentTrace()) {
+    EnsureTraceState(recorder);
+    recorder->Instant(LinkTrack(recorder, link), "link failed",
+                      simulator_->now());
+  }
 }
 
 bool Network::LinkFailed(topo::LinkId link) const {

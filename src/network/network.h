@@ -18,6 +18,8 @@
 #include "common/units.h"
 #include "sim/simulator.h"
 #include "topology/topology.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace tpu::net {
 
@@ -118,7 +120,22 @@ class Network {
   // deadline, small enough that the event queue still drains.
   static constexpr SimTime kFailedLinkStall = Seconds(3600.0);
 
+  // Dumps this network's lifetime accounting (per-class traffic bytes,
+  // message count, utilization, failed links, queue-delay histogram
+  // percentiles come from the live per-Send metrics) into `metrics`.
+  // Counters add, so call once per network at the end of a run.
+  void ExportMetrics(trace::MetricsRegistry& metrics) const;
+
  private:
+  // Trace state is cached per recorder: when a different recorder is
+  // installed (or tracing turns off and on), tracks are re-registered
+  // lazily. Tracing only observes — the simulated schedule is identical
+  // with tracing on or off.
+  void EnsureTraceState(trace::TraceRecorder* recorder);
+  trace::TraceRecorder::TrackId LinkTrack(trace::TraceRecorder* recorder,
+                                          topo::LinkId link);
+  int PodOf(topo::ChipId chip) const;
+
   const topo::MeshTopology* topology_;
   NetworkConfig config_;
   sim::Simulator* simulator_;
@@ -126,6 +143,11 @@ class Network {
   std::vector<double> degradation_;                // serialize multiplier
   std::vector<bool> failed_;                       // per-link failure state
   TrafficStats traffic_;
+
+  trace::TraceRecorder* trace_recorder_ = nullptr;  // cache key, not owned
+  std::vector<trace::TraceRecorder::TrackId> link_tracks_;
+  std::vector<trace::TraceRecorder::CounterId> pod_bytes_in_flight_;
+  std::vector<trace::TraceRecorder::CounterId> pod_busy_links_;
 };
 
 }  // namespace tpu::net

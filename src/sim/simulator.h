@@ -33,6 +33,8 @@ class Simulator {
   void ScheduleAt(SimTime when, Callback cb) {
     TPU_CHECK_GE(when, now_);
     queue_.push(Event{when, next_seq_++, std::move(cb)});
+    ++events_scheduled_;
+    if (queue_.size() > peak_queue_depth_) peak_queue_depth_ = queue_.size();
   }
 
   // Runs until the event queue drains. Returns the final clock value.
@@ -41,15 +43,32 @@ class Simulator {
     return now_;
   }
 
-  // Runs until the queue drains or the clock passes `deadline`.
-  SimTime RunUntil(SimTime deadline) {
+  // What RunUntil does with the clock when the queue drains before the
+  // deadline. kAdvanceToDeadline (the historical behaviour, and still the
+  // default) jumps now() forward to the deadline — convenient for "simulate
+  // exactly T seconds" loops, but it inflates any timestamp taken at
+  // quiescence (e.g. trace spans closed after the run) to the deadline.
+  // kStopAtLastEvent leaves now() at the final processed event, so
+  // quiescence timestamps reflect when work actually finished.
+  enum class DeadlinePolicy { kAdvanceToDeadline, kStopAtLastEvent };
+
+  // Runs until the queue drains or the clock passes `deadline`; `policy`
+  // selects the clock value when the queue drained early (see above).
+  SimTime RunUntil(SimTime deadline,
+                   DeadlinePolicy policy = DeadlinePolicy::kAdvanceToDeadline) {
     while (!queue_.empty() && queue_.top().when <= deadline) Step();
-    if (now_ < deadline) now_ = deadline;
+    if (policy == DeadlinePolicy::kAdvanceToDeadline && now_ < deadline) {
+      now_ = deadline;
+    }
     return now_;
   }
 
   bool empty() const { return queue_.empty(); }
   std::uint64_t events_processed() const { return events_processed_; }
+  // Total events ever scheduled (processed + still queued).
+  std::uint64_t events_scheduled() const { return events_scheduled_; }
+  // High-water mark of the pending-event queue.
+  std::size_t peak_queue_depth() const { return peak_queue_depth_; }
 
  private:
   struct Event {
@@ -78,6 +97,8 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t events_scheduled_ = 0;
+  std::size_t peak_queue_depth_ = 0;
 };
 
 // A serially-reusable resource (e.g. a unidirectional link or a host CPU):

@@ -1,0 +1,96 @@
+#include "trace/step_profiler.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace tpu::trace {
+
+const char* StepPhaseName(StepPhase phase) {
+  switch (phase) {
+    case StepPhase::kForward:
+      return "forward";
+    case StepPhase::kBackward:
+      return "backward";
+    case StepPhase::kReduceScatterY:
+      return "reduce-scatter-Y";
+    case StepPhase::kReduceScatterX:
+      return "reduce-scatter-X";
+    case StepPhase::kShardedUpdate:
+      return "sharded-update";
+    case StepPhase::kAllGatherX:
+      return "all-gather-X";
+    case StepPhase::kAllGatherY:
+      return "all-gather-Y";
+    case StepPhase::kEmbeddingComm:
+      return "embedding-comm";
+    case StepPhase::kCheckpoint:
+      return "checkpoint";
+    case StepPhase::kInputWait:
+      return "input-wait";
+  }
+  return "unknown";
+}
+
+void StepProfiler::BeginStep(std::string label) {
+  TPU_CHECK(!open_) << "BeginStep while a step is already open";
+  Step step;
+  step.label = std::move(label);
+  steps_.push_back(std::move(step));
+  open_ = true;
+}
+
+void StepProfiler::Record(StepPhase phase, SimTime seconds) {
+  TPU_CHECK_GE(seconds, 0.0);
+  if (!open_) BeginStep();
+  steps_.back().seconds[static_cast<int>(phase)] += seconds;
+}
+
+void StepProfiler::EndStep() {
+  TPU_CHECK(open_) << "EndStep without BeginStep";
+  open_ = false;
+}
+
+SimTime StepProfiler::Total(StepPhase phase) const {
+  SimTime total = 0;
+  for (const Step& step : steps_) total += step.seconds[static_cast<int>(phase)];
+  return total;
+}
+
+SimTime StepProfiler::TotalStep() const {
+  SimTime total = 0;
+  for (int p = 0; p < kNumStepPhases; ++p) {
+    total += Total(static_cast<StepPhase>(p));
+  }
+  return total;
+}
+
+SimTime StepProfiler::StepSeconds(int step, StepPhase phase) const {
+  TPU_CHECK_GE(step, 0);
+  TPU_CHECK_LT(step, steps());
+  return steps_[step].seconds[static_cast<int>(phase)];
+}
+
+void StepProfiler::WriteTable(std::ostream& out) const {
+  const SimTime total = TotalStep();
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-18s %12s %12s %7s\n", "phase",
+                "total(ms)", "mean(ms)", "%step");
+  out << line;
+  for (int p = 0; p < kNumStepPhases; ++p) {
+    const StepPhase phase = static_cast<StepPhase>(p);
+    const SimTime phase_total = Total(phase);
+    if (phase_total <= 0) continue;  // phases that never ran stay silent
+    std::snprintf(line, sizeof(line), "%-18s %12.4f %12.4f %6.1f%%\n",
+                  StepPhaseName(phase), ToMillis(phase_total),
+                  steps() > 0 ? ToMillis(phase_total) / steps() : 0.0,
+                  total > 0 ? 100.0 * phase_total / total : 0.0);
+    out << line;
+  }
+  std::snprintf(line, sizeof(line), "%-18s %12.4f %12.4f %6.1f%%\n", "step",
+                ToMillis(total), steps() > 0 ? ToMillis(total) / steps() : 0.0,
+                100.0);
+  out << line;
+}
+
+}  // namespace tpu::trace

@@ -1,0 +1,336 @@
+// Tests for the tracing & metrics layer: span bookkeeping, deterministic
+// JSON export, zero-overhead-when-off guarantees, histogram percentile edge
+// cases, simulator counters, and the step profiler.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "collectives/all_reduce.h"
+#include "fault/fault_injector.h"
+#include "network/network.h"
+#include "sim/simulator.h"
+#include "topology/topology.h"
+#include "trace/metrics.h"
+#include "trace/step_profiler.h"
+#include "trace/trace.h"
+
+namespace tpu {
+namespace {
+
+// --- TraceRecorder -------------------------------------------------------
+
+TEST(TraceRecorder, TracksDedupeAndAssignStableIds) {
+  trace::TraceRecorder recorder;
+  const auto a = recorder.Track("pod0", "links");
+  const auto b = recorder.Track("pod1", "links");
+  const auto c = recorder.Track("pod0", "links");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceRecorder, SpansNest) {
+  trace::TraceRecorder recorder;
+  const auto track = recorder.Track("system", "step");
+  EXPECT_EQ(recorder.open_spans(track), 0);
+  recorder.Begin(track, "outer", 0.0);
+  recorder.Begin(track, "inner", 1.0);
+  EXPECT_EQ(recorder.open_spans(track), 2);
+  recorder.End(track, 2.0);
+  EXPECT_EQ(recorder.open_spans(track), 1);
+  recorder.End(track, 3.0);
+  EXPECT_EQ(recorder.open_spans(track), 0);
+  EXPECT_EQ(recorder.event_count(), 4u);
+}
+
+TEST(TraceRecorder, JsonContainsMetadataSpansAndCounters) {
+  trace::TraceRecorder recorder;
+  const auto track = recorder.Track("pod0", "link 0");
+  const auto counter = recorder.Counter(track, "bytes_in_flight");
+  recorder.Complete(track, "xfer 1.0KiB", Micros(1), Micros(3));
+  recorder.Instant(track, "link failed", Micros(2));
+  recorder.CounterDelta(counter, Micros(1), 1024);
+  recorder.CounterDelta(counter, Micros(3), -1024);
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.000"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("bytes_in_flight"), std::string::npos);
+  // The counter series accumulates deltas to absolute values.
+  EXPECT_NE(json.find("\"value\":1024.000"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":0.000"), std::string::npos);
+}
+
+TEST(TraceRecorder, TimeOffsetShiftsTimestamps) {
+  trace::TraceRecorder recorder;
+  const auto track = recorder.Track("system", "step");
+  recorder.Complete(track, "first", 0.0, Micros(10));
+  EXPECT_DOUBLE_EQ(recorder.last_timestamp(), Micros(10));
+  {
+    trace::ScopedTimeOffset offset(&recorder, recorder.last_timestamp());
+    recorder.Complete(track, "second", 0.0, Micros(5));
+  }
+  EXPECT_DOUBLE_EQ(recorder.last_timestamp(), Micros(15));
+  EXPECT_DOUBLE_EQ(recorder.time_offset(), 0.0);  // restored
+}
+
+TEST(TraceRecorder, ScopedTraceInstallsAndRestores) {
+  EXPECT_EQ(trace::CurrentTrace(), nullptr);
+  {
+    trace::TraceRecorder recorder;
+    trace::ScopedTrace scoped(&recorder);
+    EXPECT_EQ(trace::CurrentTrace(), &recorder);
+  }
+  EXPECT_EQ(trace::CurrentTrace(), nullptr);
+}
+
+// --- Traced simulation ---------------------------------------------------
+
+coll::GradientSummationResult RunSmallSummation() {
+  sim::Simulator simulator;
+  topo::MeshTopology topo(topo::TopologyConfig::Slice(4, 4, /*wrap_y=*/true));
+  net::Network network(&topo, {}, &simulator);
+  coll::GradientSummationConfig config;
+  config.elems = 1 << 14;
+  config.collective.bfloat16_wire = true;
+  config.shard_update_seconds = [](std::int64_t owned) {
+    return Seconds(static_cast<double>(owned) * 1e-9);
+  };
+  return coll::TwoDGradientSummation(network, config);
+}
+
+TEST(TracedSimulation, ResultsBitIdenticalWithTracingOnOrOff) {
+  const coll::GradientSummationResult off = RunSmallSummation();
+
+  trace::TraceRecorder recorder;
+  trace::MetricsRegistry metrics;
+  coll::GradientSummationResult on;
+  {
+    trace::ScopedTrace scoped_trace(&recorder);
+    trace::ScopedMetrics scoped_metrics(&metrics);
+    on = RunSmallSummation();
+  }
+  // Tracing only observes: every timing must match to the last bit.
+  EXPECT_EQ(off.reduce_seconds, on.reduce_seconds);
+  EXPECT_EQ(off.update_seconds, on.update_seconds);
+  EXPECT_EQ(off.broadcast_seconds, on.broadcast_seconds);
+  EXPECT_EQ(off.max_owned_elems, on.max_owned_elems);
+  EXPECT_GT(recorder.event_count(), 0u);
+  EXPECT_FALSE(metrics.empty());
+}
+
+TEST(TracedSimulation, JsonDeterministicAcrossIdenticalRuns) {
+  std::string json[2];
+  for (int run = 0; run < 2; ++run) {
+    trace::TraceRecorder recorder;
+    trace::ScopedTrace scoped(&recorder);
+    RunSmallSummation();
+    json[run] = recorder.ToJson();
+  }
+  EXPECT_EQ(json[0], json[1]);
+  EXPECT_GT(json[0].size(), 0u);
+}
+
+TEST(TracedSimulation, SummationEmitsAllSixPhaseSpans) {
+  trace::TraceRecorder recorder;
+  trace::ScopedTrace scoped(&recorder);
+  RunSmallSummation();
+  const std::string json = recorder.ToJson();
+  for (const char* name :
+       {"2d-summation", "reduce-scatter-Y", "reduce-scatter-X",
+        "sharded-update", "broadcast-X", "broadcast-Y"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  // Ring async spans and per-link tracks ride along.
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("Y x=0 reduce-scatter"), std::string::npos);
+  EXPECT_NE(json.find("link 0 ("), std::string::npos);  // per-link threads
+  EXPECT_NE(json.find("meshX"), std::string::npos);
+  EXPECT_NE(json.find("bytes_in_flight"), std::string::npos);
+  // The summation closed its umbrella span.
+  EXPECT_EQ(recorder.open_spans(recorder.Track("system", "summation")), 0);
+}
+
+TEST(TracedSimulation, PhaseSecondsAlwaysFilledAndConsistent) {
+  const coll::GradientSummationResult result = RunSmallSummation();
+  const coll::SummationPhaseSeconds& p = result.phase_seconds;
+  EXPECT_GT(p.y_reduce_scatter, 0.0);
+  EXPECT_GT(p.x_reduce_scatter, 0.0);
+  EXPECT_GT(p.update, 0.0);
+  EXPECT_GT(p.x_all_gather, 0.0);
+  EXPECT_GT(p.y_all_gather, 0.0);
+  EXPECT_DOUBLE_EQ(p.y_reduce_scatter + p.x_reduce_scatter,
+                   result.reduce_seconds);
+  EXPECT_DOUBLE_EQ(p.update, result.update_seconds);
+  EXPECT_DOUBLE_EQ(p.x_all_gather + p.y_all_gather, result.broadcast_seconds);
+}
+
+TEST(TracedSimulation, FaultInjectionEmitsInstantEvents) {
+  trace::TraceRecorder recorder;
+  trace::ScopedTrace scoped(&recorder);
+
+  sim::Simulator simulator;
+  topo::MeshTopology topo(topo::TopologyConfig::Slice(4, 4, /*wrap_y=*/true));
+  net::Network network(&topo, {}, &simulator);
+  fault::FaultInjector injector(&network, {});
+  fault::FaultEvent flap;
+  flap.kind = fault::FaultKind::kLinkFlap;
+  flap.link = 2;
+  flap.duration = Micros(100);
+  flap.degrade_factor = 8.0;
+  simulator.Schedule(Micros(10), [&] { injector.Apply(flap); });
+  simulator.Run();
+
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("link-flap link=2"), std::string::npos);
+  EXPECT_NE(json.find("degraded x8.0"), std::string::npos);
+  EXPECT_NE(json.find("link restored"), std::string::npos);
+  EXPECT_NE(json.find("\"faults\""), std::string::npos);
+}
+
+// --- Metrics -------------------------------------------------------------
+
+TEST(MetricHistogram, EmptyReportsZero) {
+  trace::MetricHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
+}
+
+TEST(MetricHistogram, SingleSampleIsExactAtEveryPercentile) {
+  trace::MetricHistogram histogram;
+  histogram.Record(123.456);
+  for (const double p : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.Percentile(p), 123.456) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(histogram.mean(), 123.456);
+}
+
+TEST(MetricHistogram, ZeroAndNegativeSamplesLandBelowAllBuckets) {
+  trace::MetricHistogram histogram;
+  histogram.Record(0.0);
+  histogram.Record(-5.0);
+  histogram.Record(100.0);
+  EXPECT_EQ(histogram.count(), 3);
+  EXPECT_DOUBLE_EQ(histogram.min(), -5.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 100.0);
+  // Median falls among the non-positive samples.
+  EXPECT_LE(histogram.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(1.0), 100.0);
+}
+
+TEST(MetricHistogram, PercentilesApproximateUniformSamples) {
+  trace::MetricHistogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.Record(i);
+  // Log-scale buckets are ~9% wide; interpolated percentiles must land
+  // within one bucket of the exact order statistic.
+  EXPECT_NEAR(histogram.Percentile(0.50), 500, 50);
+  EXPECT_NEAR(histogram.Percentile(0.95), 950, 90);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(1.0), 1000);
+  EXPECT_DOUBLE_EQ(histogram.min(), 1);
+}
+
+TEST(MetricsRegistry, DumpsAreDeterministicAndNamed) {
+  trace::MetricsRegistry metrics;
+  metrics.Counter("net.messages").Add(7);
+  metrics.Gauge("net.max_link_utilization").Max(0.5);
+  metrics.Gauge("net.max_link_utilization").Max(0.25);  // keeps the max
+  metrics.Histogram("net.link_queue_delay_us").Record(3.0);
+
+  std::ostringstream text;
+  metrics.WriteText(text);
+  EXPECT_NE(text.str().find("net.messages = 7"), std::string::npos);
+  EXPECT_NE(text.str().find("net.max_link_utilization = 0.5"),
+            std::string::npos);
+  EXPECT_NE(text.str().find("net.link_queue_delay_us: count=1"),
+            std::string::npos);
+
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"net.messages\":7}"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// --- Simulator counters & RunUntil policy --------------------------------
+
+TEST(Simulator, CountsScheduledEventsAndPeakQueueDepth) {
+  sim::Simulator simulator;
+  for (int i = 0; i < 5; ++i) simulator.Schedule(1.0 + i, [] {});
+  EXPECT_EQ(simulator.events_scheduled(), 5u);
+  EXPECT_EQ(simulator.peak_queue_depth(), 5u);
+  simulator.Run();
+  EXPECT_EQ(simulator.events_processed(), 5u);
+  EXPECT_EQ(simulator.peak_queue_depth(), 5u);  // high-water mark persists
+
+  trace::MetricsRegistry metrics;
+  trace::ExportSimulatorMetrics(simulator, "sim", metrics);
+  EXPECT_EQ(metrics.Counter("sim.events_scheduled").value, 5);
+  EXPECT_EQ(metrics.Counter("sim.events_processed").value, 5);
+  EXPECT_DOUBLE_EQ(metrics.Gauge("sim.peak_queue_depth").value, 5.0);
+}
+
+TEST(Simulator, RunUntilAdvanceToDeadlineIsTheDefault) {
+  sim::Simulator simulator;
+  simulator.Schedule(1.0, [] {});
+  simulator.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(simulator.now(), 10.0);  // historical behaviour preserved
+}
+
+TEST(Simulator, RunUntilStopAtLastEventLeavesClockAtQuiescence) {
+  sim::Simulator simulator;
+  simulator.Schedule(1.0, [] {});
+  simulator.RunUntil(10.0, sim::Simulator::DeadlinePolicy::kStopAtLastEvent);
+  EXPECT_DOUBLE_EQ(simulator.now(), 1.0);
+  // A later deadline with pending events still stops at the deadline edge.
+  simulator.Schedule(4.0, [] {});
+  simulator.Schedule(100.0, [] {});
+  simulator.RunUntil(20.0, sim::Simulator::DeadlinePolicy::kStopAtLastEvent);
+  EXPECT_DOUBLE_EQ(simulator.now(), 5.0);
+  EXPECT_FALSE(simulator.empty());
+}
+
+// --- StepProfiler --------------------------------------------------------
+
+TEST(StepProfiler, AccumulatesPhasesPerStep) {
+  trace::StepProfiler profiler;
+  profiler.BeginStep("step0");
+  profiler.Record(trace::StepPhase::kForward, Millis(1));
+  profiler.Record(trace::StepPhase::kBackward, Millis(2));
+  profiler.Record(trace::StepPhase::kBackward, Millis(1));  // accumulates
+  profiler.EndStep();
+  profiler.BeginStep("step1");
+  profiler.Record(trace::StepPhase::kReduceScatterY, Millis(4));
+  profiler.EndStep();
+
+  EXPECT_EQ(profiler.steps(), 2);
+  EXPECT_DOUBLE_EQ(profiler.Total(trace::StepPhase::kBackward), Millis(3));
+  EXPECT_DOUBLE_EQ(profiler.StepSeconds(0, trace::StepPhase::kForward),
+                   Millis(1));
+  EXPECT_DOUBLE_EQ(profiler.StepSeconds(1, trace::StepPhase::kReduceScatterY),
+                   Millis(4));
+  EXPECT_DOUBLE_EQ(profiler.TotalStep(), Millis(8));
+
+  std::ostringstream table;
+  profiler.WriteTable(table);
+  EXPECT_NE(table.str().find("forward"), std::string::npos);
+  EXPECT_NE(table.str().find("reduce-scatter-Y"), std::string::npos);
+  // Phases never recorded are omitted from the table.
+  EXPECT_EQ(table.str().find("embedding-comm"), std::string::npos);
+}
+
+TEST(StepProfiler, PhaseNamesCoverTheTaxonomy) {
+  for (int i = 0; i < trace::kNumStepPhases; ++i) {
+    EXPECT_STRNE(trace::StepPhaseName(static_cast<trace::StepPhase>(i)), "");
+  }
+}
+
+}  // namespace
+}  // namespace tpu
