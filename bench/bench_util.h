@@ -97,6 +97,28 @@ inline void InitObservability() {
   env.initialized = true;
 
   std::vector<std::string> args = CommandLineArgs();
+  // Reject unknown --flags from the real command line before folding in the
+  // environment fallbacks: a typo like --traces=out.json silently running
+  // the full un-traced bench wastes a long sweep. "--benchmark*" passes
+  // through for binaries that also link a benchmark framework.
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    const bool known = arg.rfind("--trace=", 0) == 0 || arg == "--metrics" ||
+                       arg.rfind("--metrics=", 0) == 0 || arg == "--smoke" ||
+                       arg.rfind("--benchmark", 0) == 0;
+    if (!known) {
+      std::fprintf(stderr,
+                   "error: unknown flag '%s'\n"
+                   "supported flags:\n"
+                   "  --trace=PATH    write a Chrome trace to PATH\n"
+                   "  --metrics       dump the metrics registry to stderr\n"
+                   "  --metrics=PATH  dump the metrics registry as JSON\n"
+                   "  --smoke         reduced-scale run\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
   if (const char* v = std::getenv("TPU_BENCH_TRACE")) {
     args.push_back(std::string("--trace=") + v);
   }

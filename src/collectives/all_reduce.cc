@@ -29,18 +29,19 @@ std::vector<float*> DataFor(const std::vector<float*>& chip_buffers,
   return data;
 }
 
-// Healthy-network estimate of one ring-collective phase, used as the baseline
-// for the per-phase failure-detection deadline. All rings run concurrently; a
-// ring pass is (n-1) barrier-synchronized steps, each as long as its slowest
-// hop, so the phase estimate is max over rings of (n-1) * slowest-hop time.
-// Uses EstimateArrival, which deliberately ignores injected degradation —
-// the deadline compares sick reality against healthy expectation. Folded
-// (mesh-dimension) rings put two ring edges on each physical link; the
-// resulting ~2x contention is not modeled here, which is why deadline
-// multiples below ~2 are prone to false positives on X rings.
-SimTime ExpectedPhaseSeconds(net::Network& network,
-                             const std::vector<RingSpec>& rings,
-                             const CollectiveOptions& options) {
+}  // namespace
+
+// All rings run concurrently; a ring pass is (n-1) barrier-synchronized
+// steps, each as long as its slowest hop, so the phase estimate is max over
+// rings of (n-1) * slowest-hop time. Uses EstimateArrival, which
+// deliberately ignores injected degradation — the deadline compares sick
+// reality against healthy expectation. Folded (mesh-dimension) rings put two
+// ring edges on each physical link; the resulting ~2x contention is not
+// modeled here, which is why deadline multiples below ~2 are prone to false
+// positives on X rings.
+SimTime ExpectedRingPhaseSeconds(net::Network& network,
+                                 const std::vector<RingSpec>& rings,
+                                 const CollectiveOptions& options) {
   const SimTime now = network.simulator().now();
   SimTime worst = 0;
   for (const RingSpec& spec : rings) {
@@ -67,8 +68,6 @@ SimTime ExpectedPhaseSeconds(net::Network& network,
   }
   return worst;
 }
-
-}  // namespace
 
 std::vector<topo::ChipId> SnakeRingOverMesh(const topo::MeshTopology& topo) {
   std::vector<topo::ChipId> ring;
@@ -199,14 +198,14 @@ GradientSummationResult TwoDGradientSummation(
   std::function<void()> start_y_ag = [&] {
     end_x_ag = simulator.now();
     if (monitored) {
-      exp_y_ag = ExpectedPhaseSeconds(network, y_rings, config.collective);
+      exp_y_ag = ExpectedRingPhaseSeconds(network, y_rings, config.collective);
     }
     StartAllGather(network, y_rings, config.collective, after_y_ag);
   };
   std::function<void()> start_x_ag = [&] {
     end_update = simulator.now();
     if (monitored) {
-      exp_x_ag = ExpectedPhaseSeconds(network, x_rings, config.collective);
+      exp_x_ag = ExpectedRingPhaseSeconds(network, x_rings, config.collective);
     }
     StartAllGather(network, x_rings, config.collective, start_y_ag);
   };
@@ -227,12 +226,12 @@ GradientSummationResult TwoDGradientSummation(
   std::function<void()> start_x_rs = [&] {
     end_y_rs = simulator.now();
     if (monitored) {
-      exp_x_rs = ExpectedPhaseSeconds(network, x_rings, config.collective);
+      exp_x_rs = ExpectedRingPhaseSeconds(network, x_rings, config.collective);
     }
     StartReduceScatter(network, x_rings, config.collective, start_update);
   };
   if (monitored) {
-    exp_y_rs = ExpectedPhaseSeconds(network, y_rings, config.collective);
+    exp_y_rs = ExpectedRingPhaseSeconds(network, y_rings, config.collective);
   }
   StartReduceScatter(network, y_rings, config.collective, start_x_rs);
   simulator.Run();
@@ -356,9 +355,9 @@ SimTime PipelinedTwoDGradientSummation(
       }
     }
     const SimTime y_phase =
-        ExpectedPhaseSeconds(network, estimate_y, config.collective);
+        ExpectedRingPhaseSeconds(network, estimate_y, config.collective);
     const SimTime x_phase =
-        ExpectedPhaseSeconds(network, estimate_x, config.collective);
+        ExpectedRingPhaseSeconds(network, estimate_x, config.collective);
     report->expected = 2 * y_phase + 2 * x_phase;
     report->deadline = config.deadline.DeadlineFor(report->expected);
   }

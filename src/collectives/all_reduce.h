@@ -150,4 +150,14 @@ SimTime OneDGradientSummation(net::Network& network,
 // positions are physical neighbors.
 std::vector<topo::ChipId> SnakeRingOverMesh(const topo::MeshTopology& topo);
 
+// Healthy-network estimate of one ring-collective phase: max over rings of
+// (n-1) barrier-synchronized steps, each as long as its slowest hop (via
+// Network::EstimateArrival, which deliberately ignores injected
+// degradation). This is the expectation phase-deadline detection compares
+// reality against; the collective planner reuses it for plan execution
+// deadlines.
+SimTime ExpectedRingPhaseSeconds(net::Network& network,
+                                 const std::vector<RingSpec>& rings,
+                                 const CollectiveOptions& options);
+
 }  // namespace tpu::coll

@@ -207,6 +207,13 @@ SimTime RunRings(net::Network& network, const std::vector<RingSpec>& rings,
 
 }  // namespace
 
+Range ChunkOfRange(const Range& range, int parts, int index) {
+  TPU_CHECK_GT(parts, 0);
+  TPU_CHECK_GE(index, 0);
+  TPU_CHECK_LT(index, parts);
+  return ChunkOf(range, parts, index);
+}
+
 std::vector<Range> OwnedAfterReduceScatter(const Range& range, int ring_size,
                                            int rank,
                                            const CollectiveOptions& options) {

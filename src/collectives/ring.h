@@ -57,6 +57,11 @@ struct RingSpec {
   bool has_data() const { return !data.empty(); }
 };
 
+// The contiguous chunk layout shared by the ring and halving-doubling
+// collectives: `range` divided into `parts` chunks of ceil(len / parts)
+// elements (trailing chunks may be short or empty).
+Range ChunkOfRange(const Range& range, int parts, int index);
+
 // The chunk of `range` that ring position `rank` owns after a reduce-scatter
 // (and therefore contributes during the matching all-gather). With
 // bidirectional rings the result is two ranges (one per direction); either

@@ -8,6 +8,8 @@
 #include "common/math_util.h"
 #include "metrics/distributed_eval.h"
 #include "optim/weight_update_sharding.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
 #include "models/blocks.h"
 #include "sim/simulator.h"
 #include "spmd/spmd.h"
@@ -255,7 +257,29 @@ StepBreakdown MultipodSystem::SimulateStep(const models::ModelSpec& spec,
       recorder != nullptr ? recorder->last_timestamp() : 0.0;
   const coll::GradientSummationResult result = [&] {
     trace::ScopedTimeOffset offset(recorder, trace_base + step.compute);
-    return coll::TwoDGradientSummation(network, summation);
+    if (!options_.collective_planner) {
+      return coll::TwoDGradientSummation(network, summation);
+    }
+    // Planner mode: search (memoized per payload/stride) for the best
+    // schedule and execute it. The wire-format options become search bounds.
+    plan::PlanRequest request;
+    request.elems = summation.elems;
+    request.model_parallel_stride = chips_per_group;
+    request.allow_bfloat16 = options_.bfloat16_gradients;
+    request.allow_bidirectional = options_.bidirectional_rings;
+    const plan::PlannerResult best = plan::FindBestPlan(
+        topology_, options_.network, request, {}, &plan_cache_);
+    plan::PlanExecutionConfig exec_config;
+    exec_config.shard_update_seconds = summation.shard_update_seconds;
+    const plan::PlanExecutionResult exec =
+        plan::ExecutePlan(network, best.plan, request.elems, exec_config);
+    coll::GradientSummationResult mapped;
+    mapped.reduce_seconds = exec.reduce_seconds;
+    mapped.update_seconds = exec.update_seconds;
+    mapped.broadcast_seconds = exec.broadcast_seconds;
+    mapped.phase_seconds = exec.summation_phases;
+    mapped.max_owned_elems = exec.max_owned_elems;
+    return mapped;
   }();
   step.allreduce = result.reduce_seconds + result.broadcast_seconds;
   // Optional overlap of the gradient reduction with backprop: only time

@@ -25,6 +25,7 @@
 #include "models/model_specs.h"
 #include "network/network.h"
 #include "optim/optimizer.h"
+#include "plan/cache.h"
 #include "topology/topology.h"
 #include "trace/step_profiler.h"
 
@@ -51,6 +52,15 @@ struct SystemOptions {
   // resharding, halo barrier optimization). Off reproduces the ~30% comm
   // overhead the paper started from; on brings it to ~10%.
   bool optimized_model_parallel_comm = true;
+  // Search for the gradient-summation schedule instead of hard-wiring the
+  // 2-D Y->X rings: each step executes the best CollectivePlan found by
+  // plan::FindBestPlan (memoized in the system's PlanCache, so the search
+  // runs once per distinct payload/stride). On a healthy machine the search
+  // rediscovers the paper's schedule and the step timing is bit-identical to
+  // collective_planner = false; the flag buys adaptivity, not speed, until
+  // links degrade. bfloat16_gradients / bidirectional_rings become the
+  // search's allow_* bounds rather than fixed choices.
+  bool collective_planner = false;
   // Peak MXU fraction reachable at large batch, and the rolloff constant in
   // matrix rows (one 128-row MXU tile).
   double max_utilization = 0.55;
@@ -120,6 +130,8 @@ class MultipodSystem {
   int num_cores() const { return topology_.num_cores(); }
   const topo::MeshTopology& topology() const { return topology_; }
   const SystemOptions& options() const { return options_; }
+  // Memoized schedule searches (populated when collective_planner is on).
+  const plan::PlanCache& plan_cache() const { return plan_cache_; }
 
   // Simulates one training step. `model_parallel_cores` > 1 engages the
   // sharded-weights path (gradient payload 1/mp, X rings hop over peers).
@@ -159,6 +171,7 @@ class MultipodSystem {
  private:
   topo::MeshTopology topology_;
   SystemOptions options_;
+  plan::PlanCache plan_cache_;
 };
 
 // Speedup of the representative SPMD block of `benchmark` on `cores`

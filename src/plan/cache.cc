@@ -1,0 +1,47 @@
+#include "plan/cache.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "trace/metrics.h"
+
+namespace tpu::plan {
+
+std::string PlanCacheKey(const topo::MeshTopology& topo,
+                         const PlanRequest& request,
+                         const LinkHealthSet& health) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%dx%d|e%lld|s%d|bf%d|bd%d|c%d|k%d",
+                topo.size_x(), topo.size_y(),
+                static_cast<long long>(request.elems),
+                request.model_parallel_stride,
+                request.allow_bfloat16 ? 1 : 0,
+                request.allow_bidirectional ? 1 : 0, request.max_chunks,
+                request.des_top_k);
+  return buf + health.CacheKeyFragment();
+}
+
+const PlanCache::Entry* PlanCache::Lookup(const std::string& key) {
+  const auto it = entries_.find(key);
+  trace::MetricsRegistry* metrics = trace::CurrentMetrics();
+  if (it == entries_.end()) {
+    ++misses_;
+    if (metrics != nullptr) metrics->Counter("plan.cache.miss").Add(1);
+    return nullptr;
+  }
+  ++hits_;
+  if (metrics != nullptr) metrics->Counter("plan.cache.hit").Add(1);
+  return &it->second;
+}
+
+void PlanCache::Insert(std::string key, Entry entry) {
+  entries_.insert_or_assign(std::move(key), std::move(entry));
+}
+
+void PlanCache::Clear() {
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace tpu::plan

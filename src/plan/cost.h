@@ -1,0 +1,41 @@
+// Two-tier candidate pricing.
+//
+// EstimatePlanSeconds is the fast closed-form tier: it walks the lowered
+// stages' actual group orders and per-hop routes, charging each hop the
+// store-and-forward cost of its links *including* current degradation
+// factors and failed-link stalls — unlike Network::EstimateArrival, which
+// deliberately stays healthy-only for deadline expectations. Fault
+// awareness is what lets the planner prune stalled schedules (every 2-D
+// plan crossing a dead Y link prices at hours) while keeping survivors
+// (the flat snake ring that never touches interior Y links) in the running.
+// It ignores link contention between concurrent groups, so it ranks rather
+// than predicts.
+//
+// EvaluatePlanOnSimulator is the exact tier: it executes the plan timing-only
+// on a throwaway discrete-event Network with the health set re-applied, and
+// returns the same simulated seconds the real execution will take —
+// bit-identical, since the simulation is deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "network/network.h"
+#include "plan/plan_ir.h"
+#include "plan/schedule.h"
+#include "topology/topology.h"
+
+namespace tpu::plan {
+
+SimTime EstimatePlanSeconds(const topo::MeshTopology& topo,
+                            const net::NetworkConfig& config,
+                            const LinkHealthSet& health,
+                            const LoweredPlan& lowered);
+
+SimTime EvaluatePlanOnSimulator(const topo::MeshTopology& topo,
+                                const net::NetworkConfig& config,
+                                const LinkHealthSet& health,
+                                const CollectivePlan& plan,
+                                std::int64_t elems);
+
+}  // namespace tpu::plan

@@ -1,0 +1,138 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "plan/cost.h"
+#include "plan/generator.h"
+#include "plan/schedule.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
+namespace tpu::plan {
+
+PlannerResult FindBestPlan(const topo::MeshTopology& topo,
+                           const net::NetworkConfig& config,
+                           const PlanRequest& request,
+                           const LinkHealthSet& health, PlanCache* cache) {
+  const std::string key =
+      cache != nullptr ? PlanCacheKey(topo, request, health) : std::string();
+  if (cache != nullptr) {
+    if (const PlanCache::Entry* entry = cache->Lookup(key)) {
+      PlannerResult result;
+      result.plan = entry->plan;
+      result.predicted_seconds = entry->predicted_seconds;
+      result.from_cache = true;
+      return result;
+    }
+  }
+
+  std::vector<CollectivePlan> candidates = GeneratePlans(topo, request);
+  TPU_CHECK(!candidates.empty());
+
+  // Closed-form tier: rank every candidate, ties broken by name so the
+  // ordering (and thus the DES shortlist) is deterministic.
+  struct Scored {
+    SimTime estimate;
+    std::string name;
+    const CollectivePlan* plan;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (const CollectivePlan& plan : candidates) {
+    const LoweredPlan lowered = LowerPlan(topo, plan, request.elems);
+    scored.push_back({EstimatePlanSeconds(topo, config, health, lowered),
+                      plan.name(), &plan});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    return a.estimate != b.estimate ? a.estimate < b.estimate
+                                    : a.name < b.name;
+  });
+
+  // Discrete-event tier: re-price the shortlist exactly; the executed time of
+  // the winner is bit-identical to what running it for real will report.
+  const int top_k =
+      std::min<int>(std::max(request.des_top_k, 1),
+                    static_cast<int>(scored.size()));
+  PlannerResult result;
+  result.candidates = static_cast<int>(candidates.size());
+  result.evaluated = top_k;
+  bool have_best = false;
+  for (int i = 0; i < top_k; ++i) {
+    const SimTime seconds = EvaluatePlanOnSimulator(
+        topo, config, health, *scored[i].plan, request.elems);
+    const bool better =
+        !have_best || seconds < result.predicted_seconds ||
+        (seconds == result.predicted_seconds &&
+         scored[i].name < result.plan.name());
+    if (better) {
+      have_best = true;
+      result.plan = *scored[i].plan;
+      result.predicted_seconds = seconds;
+      result.estimated_seconds = scored[i].estimate;
+    }
+  }
+
+  if (trace::TraceRecorder* recorder = trace::CurrentTrace()) {
+    // Pin the instant at the recorder's frontier; subtract the active offset
+    // so Stamp() doesn't apply it twice.
+    recorder->Instant(recorder->Track("system", "plan"),
+                      "plan-search " + result.plan.name(),
+                      recorder->last_timestamp() - recorder->time_offset());
+  }
+  if (trace::MetricsRegistry* metrics = trace::CurrentMetrics()) {
+    metrics->Counter("plan.search.runs").Add(1);
+    metrics->Counter("plan.search.candidates").Add(result.candidates);
+    metrics->Counter("plan.search.evaluated").Add(result.evaluated);
+  }
+  if (cache != nullptr) {
+    cache->Insert(key, {result.plan, result.predicted_seconds});
+  }
+  return result;
+}
+
+MitigatedSummation ExecuteWithReplanning(net::Network& network,
+                                         const PlanRequest& request,
+                                         const CollectivePlan& plan,
+                                         fault::HealthMonitor& monitor,
+                                         PlanCache* cache,
+                                         PlanExecutionConfig config) {
+  config.deadline = monitor.config().ToPhaseDeadline();
+
+  MitigatedSummation outcome;
+  outcome.first = ExecutePlan(network, plan, request.elems, config);
+
+  // Score every monitored phase against the injector-independent deadline;
+  // ground truth for the observation is the network's actual link state.
+  const LinkHealthSet health = LinkHealthSet::FromNetwork(network);
+  const bool fault_active = !health.healthy();
+  for (const coll::PhaseTiming& timing : outcome.first.phases) {
+    monitor.Observe({timing.start, timing.expected, timing.actual,
+                     fault_active});
+  }
+  if (!outcome.first.timed_out) return outcome;
+
+  // A phase overran its deadline: re-plan under the observed link health
+  // (which, being part of the cache key, forces a fresh search) and run the
+  // replacement on the same degraded network.
+  outcome.replanned = true;
+  outcome.detected_at = outcome.first.detected_at;
+  outcome.replan = FindBestPlan(network.topology(), network.config(), request,
+                                health, cache);
+  if (trace::TraceRecorder* recorder = trace::CurrentTrace()) {
+    recorder->Instant(recorder->Track("system", "plan"),
+                      "replan " + outcome.replan.plan.name(),
+                      network.simulator().now());
+  }
+  if (trace::MetricsRegistry* metrics = trace::CurrentMetrics()) {
+    metrics->Counter("plan.replans").Add(1);
+  }
+  outcome.second =
+      ExecutePlan(network, outcome.replan.plan, request.elems, config);
+  return outcome;
+}
+
+}  // namespace tpu::plan

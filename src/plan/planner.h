@@ -1,0 +1,58 @@
+// The planner: search, cache, execute, and replan on failure.
+//
+// FindBestPlan enumerates candidates, prunes with the fault-aware closed-form
+// estimate, re-prices the top K on a throwaway discrete-event network, and
+// returns the winner — consulting the PlanCache first when one is supplied.
+// Ties break on (time, name), so identical inputs always pick the same plan.
+//
+// ExecuteWithReplanning is the fault-driven loop the paper's recovery story
+// needs: execute the current plan with per-phase deadlines armed, feed the
+// timings to the HealthMonitor, and on a detection snapshot the network's
+// *actual* link health, re-plan under it (a changed health set misses the
+// cache by construction), and execute the replacement schedule on the same —
+// still degraded — network.
+#pragma once
+
+#include "common/units.h"
+#include "fault/health_monitor.h"
+#include "network/network.h"
+#include "plan/cache.h"
+#include "plan/executor.h"
+#include "plan/plan_ir.h"
+#include "topology/topology.h"
+
+namespace tpu::plan {
+
+struct PlannerResult {
+  CollectivePlan plan;
+  SimTime predicted_seconds = 0;  // discrete-event time of the winner
+  SimTime estimated_seconds = 0;  // its closed-form estimate
+  bool from_cache = false;
+  int candidates = 0;  // plans enumerated (0 on a cache hit)
+  int evaluated = 0;   // plans re-priced on the simulator
+};
+
+PlannerResult FindBestPlan(const topo::MeshTopology& topo,
+                           const net::NetworkConfig& config,
+                           const PlanRequest& request,
+                           const LinkHealthSet& health = {},
+                           PlanCache* cache = nullptr);
+
+// One monitored execution, plus the replanned retry when a phase overran its
+// deadline. `second.total()` is meaningful only when `replanned`.
+struct MitigatedSummation {
+  PlanExecutionResult first;
+  bool replanned = false;
+  SimTime detected_at = -1.0;  // when the overrun was detected
+  PlannerResult replan;        // the fault-aware search result
+  PlanExecutionResult second;  // the replacement plan's execution
+};
+
+MitigatedSummation ExecuteWithReplanning(net::Network& network,
+                                         const PlanRequest& request,
+                                         const CollectivePlan& plan,
+                                         fault::HealthMonitor& monitor,
+                                         PlanCache* cache = nullptr,
+                                         PlanExecutionConfig config = {});
+
+}  // namespace tpu::plan

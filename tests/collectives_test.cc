@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "collectives/all_reduce.h"
+#include "collectives/halving_doubling.h"
 #include "collectives/ring.h"
 #include "collectives/xfer.h"
 #include "common/rng.h"
@@ -376,6 +377,86 @@ TEST(OneDSummation, SnakeRingCorrectness) {
       ASSERT_EQ(h.buffer(chip)[i], h.expected_sum()[i]);
     }
   }
+}
+
+TEST(HalvingDoubling, ReduceScatterThenAllGatherSums) {
+  Harness h(8, 4, true, /*elems=*/64);
+  const std::vector<topo::ChipId> row =
+      h.topo().LineAlong(topo::Dim::kX, h.topo().ChipAt({0, 1}));
+  const std::vector<float> want = h.SumOver(row);
+
+  std::vector<RingSpec> groups{h.SpecFor(row)};
+  HdReduceScatter(h.network(), groups, CollectiveOptions{});
+  // After halving, rank r holds the summed natural chunk r.
+  for (std::size_t rank = 0; rank < row.size(); ++rank) {
+    const Range owned = HdOwnedAfterReduceScatter(
+        Range{0, h.elems()}, static_cast<int>(row.size()),
+        static_cast<int>(rank));
+    for (std::int64_t i = owned.begin; i < owned.end; ++i) {
+      ASSERT_EQ(h.buffer(row[rank])[i], want[i]) << "rank " << rank;
+    }
+  }
+  HdAllGather(h.network(), groups, CollectiveOptions{});
+  for (const topo::ChipId chip : row) {
+    for (std::int64_t i = 0; i < h.elems(); ++i) {
+      ASSERT_EQ(h.buffer(chip)[i], want[i]);
+    }
+  }
+}
+
+TEST(HalvingDoubling, OwnershipPartitionsTheRange) {
+  const Range range{0, 1000};
+  for (int n : {1, 2, 4, 8, 16}) {
+    std::vector<int> covered(1000, 0);
+    for (int rank = 0; rank < n; ++rank) {
+      const Range owned = HdOwnedAfterReduceScatter(range, n, rank);
+      for (std::int64_t i = owned.begin; i < owned.end; ++i) ++covered[i];
+    }
+    for (int c : covered) EXPECT_EQ(c, 1) << "n=" << n;
+  }
+}
+
+TEST(HalvingDoubling, ExpectedPhaseSecondsLowerBoundsTheRun) {
+  const std::int64_t elems = 1 << 14;
+  Harness h(8, 4, true, elems);
+  std::vector<RingSpec> groups;
+  for (int x = 0; x < 8; ++x) {
+    RingSpec spec;
+    spec.order = h.topo().LineAlong(topo::Dim::kY, h.topo().ChipAt({x, 0}));
+    spec.range = Range{0, elems};
+    groups.push_back(spec);
+  }
+  const SimTime expected =
+      ExpectedHdPhaseSeconds(h.network(), groups, CollectiveOptions{});
+  const SimTime actual =
+      HdReduceScatter(h.network(), groups, CollectiveOptions{});
+  EXPECT_GT(expected, 0.0);
+  // The estimate ignores contention between concurrent exchanges, so it can
+  // only undershoot the simulated run.
+  EXPECT_LE(expected, actual * (1 + 1e-9));
+}
+
+TEST(PhaseDeadline, DisabledByDefault) {
+  PhaseDeadlineConfig deadline;
+  EXPECT_EQ(deadline.multiple, 0.0);
+  EXPECT_FALSE(deadline.enabled());
+}
+
+TEST(PhaseDeadline, ZeroExpectedFloorsAtMinDeadline) {
+  PhaseDeadlineConfig deadline;
+  deadline.multiple = 3.0;
+  deadline.min_deadline = Micros(50);
+  // A degenerate phase (empty group, zero payload) has expected == 0; the
+  // floor keeps the deadline meaningful instead of instant.
+  EXPECT_EQ(deadline.DeadlineFor(0.0), Micros(50));
+}
+
+TEST(PhaseDeadline, SmallExpectationsFloorLargeOnesScale) {
+  PhaseDeadlineConfig deadline;
+  deadline.multiple = 3.0;
+  deadline.min_deadline = Micros(50);
+  EXPECT_EQ(deadline.DeadlineFor(Micros(10)), Micros(50));   // 30us < floor
+  EXPECT_EQ(deadline.DeadlineFor(Micros(100)), Micros(300));  // scales
 }
 
 TEST(SnakeRing, VisitsEveryChipWithNeighborSteps) {

@@ -52,6 +52,48 @@ TEST(Simulator, RunUntilStopsAtDeadline) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Simulator, StopAtLastEventLeavesClockAtQuiescence) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.Schedule(1.0, [&] { ++fired; });
+  simulator.Schedule(2.5, [&] { ++fired; });
+  const SimTime end =
+      simulator.RunUntil(10.0, Simulator::DeadlinePolicy::kStopAtLastEvent);
+  EXPECT_EQ(fired, 2);
+  // The queue drained at 2.5; the clock must not jump to the deadline.
+  EXPECT_DOUBLE_EQ(end, 2.5);
+  EXPECT_DOUBLE_EQ(simulator.now(), 2.5);
+}
+
+TEST(Simulator, StopAtLastEventStillHonorsTheDeadline) {
+  // Events past the deadline stay queued under either policy; the policies
+  // only differ when the queue drains early.
+  Simulator simulator;
+  int fired = 0;
+  simulator.Schedule(1.0, [&] { ++fired; });
+  simulator.Schedule(10.0, [&] { ++fired; });
+  simulator.RunUntil(5.0, Simulator::DeadlinePolicy::kStopAtLastEvent);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(simulator.now(), 1.0);
+  EXPECT_FALSE(simulator.empty());
+
+  Simulator advancing;
+  int fired2 = 0;
+  advancing.Schedule(1.0, [&] { ++fired2; });
+  advancing.Schedule(10.0, [&] { ++fired2; });
+  advancing.RunUntil(5.0, Simulator::DeadlinePolicy::kAdvanceToDeadline);
+  EXPECT_EQ(fired2, 1);
+  EXPECT_DOUBLE_EQ(advancing.now(), 5.0);  // default: clock jumps forward
+}
+
+TEST(Simulator, StopAtLastEventOnEmptyQueueKeepsNow) {
+  Simulator simulator;
+  simulator.Schedule(3.0, [] {});
+  simulator.Run();
+  simulator.RunUntil(100.0, Simulator::DeadlinePolicy::kStopAtLastEvent);
+  EXPECT_DOUBLE_EQ(simulator.now(), 3.0);
+}
+
 TEST(Simulator, CountsProcessedEvents) {
   Simulator simulator;
   for (int i = 0; i < 7; ++i) simulator.Schedule(0.5, [] {});
