@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "collectives/payload_pool.h"
 #include "common/bfloat16.h"
 #include "common/check.h"
 #include "common/math_util.h"
@@ -21,6 +22,28 @@ Range ChunkSpan(const Range& range, int parts, int first, int last) {
   const Range hi = ChunkOfRange(range, parts, last - 1);
   return Range{lo.begin, hi.end};
 }
+
+// Join-counter for the per-round rendezvous, owned by its own notifications
+// (see the identical pattern in ring.cc): raw-pointer captures keep the hot
+// per-message callbacks free of refcount traffic.
+class StepBarrier {
+ public:
+  StepBarrier(int expected, sim::Simulator::Callback on_all_done)
+      : remaining_(expected), on_all_done_(std::move(on_all_done)) {
+    TPU_CHECK_GT(expected, 0);
+  }
+
+  void Notify() {
+    if (--remaining_ == 0) {
+      on_all_done_();
+      delete this;
+    }
+  }
+
+ private:
+  int remaining_;
+  sim::Simulator::Callback on_all_done_;
+};
 
 // One group executing recursive halving (reduce-scatter) or recursive
 // doubling (all-gather). Rounds are separated by a per-group barrier, the
@@ -67,7 +90,9 @@ class HdPass : public std::enable_shared_from_this<HdPass> {
 
   void RunRound(int round) {
     auto self = shared_from_this();
-    auto barrier = std::make_shared<sim::Barrier>(n(), [self, round] {
+    // The barrier's continuation holds the shared_ptr that keeps this pass
+    // alive; the hot per-message callbacks hold only the raw pointer.
+    StepBarrier* barrier = new StepBarrier(n(), [self, round] {
       if (round + 1 < self->rounds_) {
         self->RunRound(round + 1);
       } else {
@@ -90,33 +115,41 @@ class HdPass : public std::enable_shared_from_this<HdPass> {
                                    send_block.second);
       const Bytes wire_bytes = send.size() * options_.wire_bytes_per_elem();
 
-      // Snapshot outgoing values: this round's incoming data must not
-      // contaminate what travels within the same round.
-      std::shared_ptr<std::vector<float>> payload;
-      if (!data_.empty() && send.size() > 0) {
-        payload = std::make_shared<std::vector<float>>(
-            data_[rank] + send.begin, data_[rank] + send.end);
-        if (options_.bfloat16_wire) {
-          for (float& v : *payload) v = QuantizeToBFloat16(v);
+      // Time-only groups complete with a bare barrier notification (inline
+      // capture); data-carrying groups snapshot the outgoing values into a
+      // pooled buffer (this round's incoming data must not contaminate what
+      // travels within the same round).
+      if (data_.empty() || send.size() == 0) {
+        network_->Send(order_[rank], order_[partner], wire_bytes,
+                       [barrier] { barrier->Notify(); });
+        continue;
+      }
+      PayloadPool::Handle payload = PayloadPool::ThisThread().Snapshot(
+          data_[rank] + send.begin, data_[rank] + send.end);
+      if (options_.bfloat16_wire) {
+        float* p = payload.data();
+        for (std::size_t i = 0; i < payload.size(); ++i) {
+          p[i] = QuantizeToBFloat16(p[i]);
         }
       }
-
-      float* dest = data_.empty() ? nullptr : data_[partner];
-      const Kind kind = kind_;
-      network_->Send(order_[rank], order_[partner], wire_bytes,
-                     [barrier, payload, dest, send, kind] {
-                       if (payload != nullptr && dest != nullptr) {
-                         float* out = dest + send.begin;
-                         if (kind == Kind::kHalving) {
-                           for (std::size_t i = 0; i < payload->size(); ++i) {
-                             out[i] += (*payload)[i];
-                           }
-                         } else {
-                           std::copy(payload->begin(), payload->end(), out);
+      float* const out = data_[partner] + send.begin;
+      if (kind_ == Kind::kHalving) {
+        network_->Send(order_[rank], order_[partner], wire_bytes,
+                       [barrier, payload = std::move(payload), out] {
+                         const float* p = payload.data();
+                         for (std::size_t i = 0; i < payload.size(); ++i) {
+                           out[i] += p[i];
                          }
-                       }
-                       barrier->Notify();
-                     });
+                         barrier->Notify();
+                       });
+      } else {
+        network_->Send(order_[rank], order_[partner], wire_bytes,
+                       [barrier, payload = std::move(payload), out] {
+                         std::copy(payload.data(),
+                                   payload.data() + payload.size(), out);
+                         barrier->Notify();
+                       });
+      }
     }
   }
 

@@ -1,0 +1,114 @@
+// Reusable wire-payload buffers for data-carrying collectives.
+//
+// Every simulated hop of a functional collective used to snapshot its
+// outgoing values into a fresh shared_ptr<vector<float>> — one heap
+// allocation (and one release) per simulated message. PayloadPool recycles
+// those buffers through a per-thread free list instead: a snapshot is a copy
+// into a recycled vector, and the RAII Handle returns the vector to the pool
+// when the completion callback is destroyed. Values are exact copies, so the
+// simulated arithmetic is bit-identical to the unpooled path.
+//
+// Like CallbackPool, a handle must be created, used, and destroyed on the
+// thread whose pool it came from — true by construction, since collectives
+// run entirely on their simulator's thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tpu::coll {
+
+class PayloadPool {
+ public:
+  // Move-only owner of one pooled buffer; hands the buffer back on
+  // destruction. A default-constructed handle is empty (no buffer).
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& other) noexcept
+        : pool_(other.pool_), buffer_(other.buffer_) {
+      other.pool_ = nullptr;
+      other.buffer_ = nullptr;
+    }
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        buffer_ = other.buffer_;
+        other.pool_ = nullptr;
+        other.buffer_ = nullptr;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { Release(); }
+
+    explicit operator bool() const { return buffer_ != nullptr; }
+    float* data() { return buffer_->data(); }
+    const float* data() const { return buffer_->data(); }
+    std::size_t size() const { return buffer_->size(); }
+
+   private:
+    friend class PayloadPool;
+    Handle(PayloadPool* pool, std::vector<float>* buffer)
+        : pool_(pool), buffer_(buffer) {}
+
+    void Release() {
+      if (buffer_ != nullptr) {
+        pool_->free_.push_back(buffer_);
+        pool_ = nullptr;
+        buffer_ = nullptr;
+      }
+    }
+
+    PayloadPool* pool_ = nullptr;
+    std::vector<float>* buffer_ = nullptr;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;   // buffer reused from the free list
+    std::uint64_t fresh = 0;  // new buffer allocated (cold pool)
+  };
+
+  static PayloadPool& ThisThread() {
+    thread_local PayloadPool pool;
+    return pool;
+  }
+
+  PayloadPool() = default;
+  PayloadPool(const PayloadPool&) = delete;
+  PayloadPool& operator=(const PayloadPool&) = delete;
+
+  ~PayloadPool() {
+    // Buffers still owned by live handles leak intentionally: the thread is
+    // exiting, and touching the destroyed pool from a late handle would be
+    // worse. In practice handles never outlive their simulation run.
+    for (std::vector<float>* buffer : free_) delete buffer;
+  }
+
+  // Copies [begin, end) into a recycled buffer sized exactly to the range.
+  Handle Snapshot(const float* begin, const float* end) {
+    std::vector<float>* buffer;
+    if (!free_.empty()) {
+      ++stats_.hits;
+      buffer = free_.back();
+      free_.pop_back();
+    } else {
+      ++stats_.fresh;
+      buffer = new std::vector<float>();
+    }
+    buffer->assign(begin, end);
+    return Handle(this, buffer);
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::vector<float>*> free_;
+  Stats stats_;
+};
+
+}  // namespace tpu::coll

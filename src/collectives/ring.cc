@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "collectives/payload_pool.h"
 #include "common/bfloat16.h"
 #include "common/check.h"
 #include "common/math_util.h"
@@ -31,6 +32,30 @@ std::pair<Range, Range> DirectionHalves(const Range& range) {
   const std::int64_t mid = range.begin + range.size() / 2;
   return {Range{range.begin, mid}, Range{mid, range.end}};
 }
+
+// Join-counter for the per-step rendezvous, owned by its own notifications:
+// the last Notify fires the continuation and deletes the barrier. Callbacks
+// capture it as a raw pointer (8 inline bytes, no refcount traffic), which is
+// safe because every simulated message completes — even failed-link sends
+// finish after their stall — so the notification count always reaches n.
+class StepBarrier {
+ public:
+  StepBarrier(int expected, sim::Simulator::Callback on_all_done)
+      : remaining_(expected), on_all_done_(std::move(on_all_done)) {
+    TPU_CHECK_GT(expected, 0);
+  }
+
+  void Notify() {
+    if (--remaining_ == 0) {
+      on_all_done_();
+      delete this;
+    }
+  }
+
+ private:
+  int remaining_;
+  sim::Simulator::Callback on_all_done_;
+};
 
 // One direction of one ring executing reduce-scatter or all-gather over a
 // contiguous payload sub-range. Steps are separated by a per-ring barrier:
@@ -76,7 +101,10 @@ class RingPass : public std::enable_shared_from_this<RingPass> {
 
   void RunStep(int step) {
     auto self = shared_from_this();
-    auto barrier = std::make_shared<sim::Barrier>(n(), [self, step] {
+    // The barrier's continuation holds the shared_ptr that keeps this pass
+    // alive until the step completes; the hot per-message callbacks hold only
+    // the raw barrier pointer.
+    StepBarrier* barrier = new StepBarrier(n(), [self, step] {
       if (step + 1 < self->n() - 1) {
         self->RunStep(step + 1);
       } else {
@@ -90,33 +118,42 @@ class RingPass : public std::enable_shared_from_this<RingPass> {
       const Range chunk = ChunkOf(range_, n(), chunk_index);
       const Bytes wire_bytes = chunk.size() * options_.wire_bytes_per_elem();
 
-      // Snapshot the outgoing values now: this step's incoming data must not
-      // contaminate what we forward within the same step.
-      std::shared_ptr<std::vector<float>> payload;
-      if (!data_.empty() && chunk.size() > 0) {
-        payload = std::make_shared<std::vector<float>>(
-            data_[rank] + chunk.begin, data_[rank] + chunk.end);
-        if (options_.bfloat16_wire) {
-          for (float& v : *payload) v = QuantizeToBFloat16(v);
+      // Time-only rings (no data pointers) complete with a bare barrier
+      // notification — the capture is two pointers, stored inline in the
+      // event. Data-carrying rings snapshot the outgoing values now (this
+      // step's incoming data must not contaminate what we forward within the
+      // same step) into a pooled buffer the callback owns.
+      if (data_.empty() || chunk.size() == 0) {
+        network_->Send(order_[rank], order_[next], wire_bytes,
+                       [barrier] { barrier->Notify(); });
+        continue;
+      }
+      PayloadPool::Handle payload = PayloadPool::ThisThread().Snapshot(
+          data_[rank] + chunk.begin, data_[rank] + chunk.end);
+      if (options_.bfloat16_wire) {
+        float* p = payload.data();
+        for (std::size_t i = 0; i < payload.size(); ++i) {
+          p[i] = QuantizeToBFloat16(p[i]);
         }
       }
-
-      float* dest = data_.empty() ? nullptr : data_[next];
-      const Kind kind = kind_;
-      network_->Send(order_[rank], order_[next], wire_bytes,
-                     [self, barrier, payload, dest, chunk, kind] {
-                       if (payload != nullptr && dest != nullptr) {
-                         float* out = dest + chunk.begin;
-                         if (kind == Kind::kReduceScatter) {
-                           for (std::size_t i = 0; i < payload->size(); ++i) {
-                             out[i] += (*payload)[i];
-                           }
-                         } else {
-                           std::copy(payload->begin(), payload->end(), out);
+      float* const out = data_[next] + chunk.begin;
+      if (kind_ == Kind::kReduceScatter) {
+        network_->Send(order_[rank], order_[next], wire_bytes,
+                       [barrier, payload = std::move(payload), out] {
+                         const float* p = payload.data();
+                         for (std::size_t i = 0; i < payload.size(); ++i) {
+                           out[i] += p[i];
                          }
-                       }
-                       barrier->Notify();
-                     });
+                         barrier->Notify();
+                       });
+      } else {
+        network_->Send(order_[rank], order_[next], wire_bytes,
+                       [barrier, payload = std::move(payload), out] {
+                         std::copy(payload.data(),
+                                   payload.data() + payload.size(), out);
+                         barrier->Notify();
+                       });
+      }
     }
   }
 

@@ -1,26 +1,63 @@
 #include "core/sweep.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace tpu::core {
+namespace {
+
+SweepPoint RunSweepPoint(const SweepConfig& config, int chips) {
+  MultipodSystem system(chips, config.options);
+  SweepPoint point;
+  point.chips = chips;
+  point.global_batch = config.batch_for(chips);
+  point.model_parallel_cores = config.model_parallel_cores;
+  point.run = system.SimulateTraining(config.benchmark, point.global_batch,
+                                      config.model_parallel_cores,
+                                      config.framework);
+  point.step = point.run.step;
+  return point;
+}
+
+}  // namespace
 
 std::vector<SweepPoint> RunScalingSweep(const SweepConfig& config) {
   TPU_CHECK(!config.chip_counts.empty());
   TPU_CHECK(config.batch_for != nullptr);
-  std::vector<SweepPoint> points;
-  points.reserve(config.chip_counts.size());
-  for (int chips : config.chip_counts) {
-    MultipodSystem system(chips, config.options);
-    SweepPoint point;
-    point.chips = chips;
-    point.global_batch = config.batch_for(chips);
-    point.model_parallel_cores = config.model_parallel_cores;
-    point.run = system.SimulateTraining(config.benchmark, point.global_batch,
-                                        config.model_parallel_cores,
-                                        config.framework);
-    point.step = point.run.step;
-    points.push_back(std::move(point));
+  const std::size_t n = config.chip_counts.size();
+  std::size_t threads =
+      config.threads == 0
+          ? std::max(1u, std::thread::hardware_concurrency())
+          : static_cast<std::size_t>(std::max(config.threads, 1));
+  threads = std::min(threads, n);
+  // The trace recorder and metrics registry are thread-local, so worker
+  // threads would simulate silently; to keep a traced/metered sweep's
+  // observable output independent of the thread count, run it serially.
+  if (trace::CurrentTrace() != nullptr || trace::CurrentMetrics() != nullptr) {
+    threads = 1;
   }
+
+  std::vector<SweepPoint> points(n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      points[i] = RunSweepPoint(config, config.chip_counts[i]);
+    }
+    return points;
+  }
+  // Every point is an independent simulation on its own Simulator/Network
+  // with no shared mutable state; writing each result into its fixed slot
+  // makes the merged output identical to the serial run's.
+  ThreadPool pool(threads);
+  pool.ParallelFor(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      points[i] = RunSweepPoint(config, config.chip_counts[i]);
+    }
+  });
   return points;
 }
 

@@ -49,6 +49,28 @@ Network::Network(const topo::MeshTopology* topology,
   }
   degradation_.assign(topology_->links().size(), 1.0);
   failed_.assign(topology_->links().size(), false);
+  route_cache_.resize(topology_->num_chips());
+}
+
+const Network::CachedRoute& Network::RouteFor(topo::ChipId from,
+                                              topo::ChipId to) const {
+  std::vector<std::pair<topo::ChipId, CachedRoute>>& routes =
+      route_cache_[from];
+  for (const auto& [dst, route] : routes) {
+    if (dst == to) return route;
+  }
+
+  const std::vector<topo::LinkId> links = topology_->RouteLinks(from, to);
+  TPU_CHECK(!links.empty());
+  CachedRoute route;
+  route.hops.reserve(links.size());
+  for (const topo::LinkId id : links) {
+    const topo::Link& link = topology_->link(id);
+    const LinkParams& params = config_.ParamsFor(link.type);
+    route.hops.push_back({id, link.type, params.latency, params.bandwidth});
+  }
+  routes.emplace_back(to, std::move(route));
+  return routes.back().second;
 }
 
 void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
@@ -63,31 +85,29 @@ void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
     return;
   }
 
-  const std::vector<topo::LinkId> route = topology_->RouteLinks(from, to);
-  TPU_CHECK(!route.empty());
-
   // Store-and-forward per hop at message granularity: at each hop the message
   // waits for the link to be free, occupies it for bytes/bandwidth, and then
   // pays the propagation latency. We precompute the full hop schedule now —
   // FIFO ordering per link is preserved because reservations are made in
-  // Send-call order (the simulator is single-threaded).
+  // Send-call order (the simulator is single-threaded). The hop parameters
+  // come from the route cache; only live link state is read per message.
+  const CachedRoute& route = RouteFor(from, to);
   SimTime head = simulator_->now() + config_.message_overhead;
-  for (std::size_t i = 0; i < route.size(); ++i) {
-    const topo::Link& link = topology_->link(route[i]);
-    const LinkParams& params = config_.ParamsFor(link.type);
-    SimTime serialize = static_cast<double>(bytes) / params.bandwidth *
-                        degradation_[route[i]];
+  for (std::size_t i = 0; i < route.hops.size(); ++i) {
+    const CachedHop& hop = route.hops[i];
+    SimTime serialize =
+        static_cast<double>(bytes) / hop.bandwidth * degradation_[hop.link];
     // A failed link stalls the message: it eventually "arrives" (so the event
     // queue drains and simulations terminate), but far past any deadline a
     // health monitor would set.
-    if (failed_[route[i]]) serialize += kFailedLinkStall;
+    if (failed_[hop.link]) serialize += kFailedLinkStall;
 
-    sim::FifoResource& resource = link_resources_[route[i]];
+    sim::FifoResource& resource = link_resources_[hop.link];
     const SimTime start = resource.ReserveFrom(head, serialize);
-    const bool last_hop = i + 1 == route.size();
+    const bool last_hop = i + 1 == route.hops.size();
     if (last_hop) {
       // The completion callback fires when the message tail has arrived.
-      simulator_->ScheduleAt(start + serialize + params.latency,
+      simulator_->ScheduleAt(start + serialize + hop.latency,
                              std::move(on_done));
     }
 
@@ -95,18 +115,18 @@ void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
       // One span per hop on the link's own track; the gap between the hop's
       // earliest start (`head`) and its actual start is FIFO queueing.
       const trace::TraceRecorder::TrackId track =
-          LinkTrack(recorder, route[i]);
+          LinkTrack(recorder, hop.link);
       recorder->Complete(track, BytesLabel(bytes), start, start + serialize);
-      if (failed_[route[i]]) {
+      if (failed_[hop.link]) {
         recorder->Instant(track, "failed-link stall", start);
       }
-      const int pod = PodOf(link.from);
+      const int pod = PodOf(topology_->link(hop.link).from);
       recorder->CounterDelta(pod_busy_links_[pod], start, 1.0);
       recorder->CounterDelta(pod_busy_links_[pod], start + serialize, -1.0);
       recorder->CounterDelta(pod_bytes_in_flight_[pod], start,
                              static_cast<double>(bytes));
       recorder->CounterDelta(pod_bytes_in_flight_[pod],
-                             start + serialize + params.latency,
+                             start + serialize + hop.latency,
                              static_cast<double>(bytes) * -1.0);
     }
     if (metrics != nullptr) {
@@ -114,9 +134,9 @@ void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
           .Record(ToMicros(start - head));
       metrics->Histogram("net.hop_serialize_us").Record(ToMicros(serialize));
     }
-    head = start + serialize + params.latency;
+    head = start + serialize + hop.latency;
 
-    switch (link.type) {
+    switch (hop.type) {
       case topo::LinkType::kMeshX:
         traffic_.mesh_x_bytes += bytes;
         break;
@@ -186,12 +206,10 @@ SimTime Network::EstimateArrival(topo::ChipId from, topo::ChipId to,
                                  Bytes bytes) const {
   if (from == to) return simulator_->now() + config_.message_overhead;
   SimTime head = simulator_->now() + config_.message_overhead;
-  for (topo::LinkId id : topology_->RouteLinks(from, to)) {
-    const topo::Link& link = topology_->link(id);
-    const LinkParams& params = config_.ParamsFor(link.type);
-    const SimTime serialize = static_cast<double>(bytes) / params.bandwidth;
-    const SimTime start = std::max(head, link_resources_[id].free_at());
-    head = start + serialize + params.latency;
+  for (const CachedHop& hop : RouteFor(from, to).hops) {
+    const SimTime serialize = static_cast<double>(bytes) / hop.bandwidth;
+    const SimTime start = std::max(head, link_resources_[hop.link].free_at());
+    head = start + serialize + hop.latency;
   }
   return head;
 }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
@@ -136,6 +137,26 @@ class Network {
                                           topo::LinkId link);
   int PodOf(topo::ChipId chip) const;
 
+  // One hop of a cached route: everything Send needs that is invariant
+  // across messages. Live state (degradation, failure, FIFO occupancy) is
+  // read fresh per message, so caching never changes behaviour. The
+  // bandwidth is stored as-is (not as a reciprocal) so the serialization
+  // arithmetic stays bit-identical to the uncached path.
+  struct CachedHop {
+    topo::LinkId link;
+    topo::LinkType type;
+    SimTime latency;
+    Bandwidth bandwidth;
+  };
+  struct CachedRoute {
+    std::vector<CachedHop> hops;
+  };
+
+  // Returns the cached hop schedule for (from, to), computing and memoizing
+  // it on first use. Routes depend only on the (immutable) topology and the
+  // per-construction config, so entries are never invalidated.
+  const CachedRoute& RouteFor(topo::ChipId from, topo::ChipId to) const;
+
   const topo::MeshTopology* topology_;
   NetworkConfig config_;
   sim::Simulator* simulator_;
@@ -143,6 +164,12 @@ class Network {
   std::vector<double> degradation_;                // serialize multiplier
   std::vector<bool> failed_;                       // per-link failure state
   TrafficStats traffic_;
+  // Indexed by source chip; each entry is the handful of (destination,
+  // hop schedule) pairs that source has ever messaged — collectives only talk
+  // to ring/recursive-halving neighbours, so a linear scan beats hashing.
+  // Mutable because EstimateArrival is const but may warm the cache.
+  mutable std::vector<std::vector<std::pair<topo::ChipId, CachedRoute>>>
+      route_cache_;
 
   trace::TraceRecorder* trace_recorder_ = nullptr;  // cache key, not owned
   std::vector<trace::TraceRecorder::TrackId> link_tracks_;

@@ -96,6 +96,12 @@ struct PlanRequest {
   // Candidates re-priced on the discrete-event simulator after closed-form
   // pruning; the rest are ranked by estimate alone.
   int des_top_k = 3;
+  // Worker threads for the exact re-pricing tier. Each shortlisted candidate
+  // runs on its own throwaway Simulator and results are reduced in shortlist
+  // order, so the chosen plan and its predicted time are identical at any
+  // thread count (and this field is deliberately not part of the plan-cache
+  // key). 0 picks the hardware concurrency.
+  int search_threads = 1;
 
   friend bool operator==(const PlanRequest&, const PlanRequest&) = default;
 };

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "plan/cost.h"
 #include "plan/generator.h"
 #include "plan/schedule.h"
@@ -60,18 +62,41 @@ PlannerResult FindBestPlan(const topo::MeshTopology& topo,
   PlannerResult result;
   result.candidates = static_cast<int>(candidates.size());
   result.evaluated = top_k;
+  // Each shortlisted candidate prices on its own throwaway Simulator with no
+  // shared state (the trace/metrics globals are thread-local), so the
+  // evaluations can fan out across a pool; the reduction below walks
+  // `seconds` in shortlist order either way, making the winner independent
+  // of the thread count.
+  std::vector<SimTime> seconds(top_k);
+  const int threads = std::min(
+      top_k, request.search_threads == 0
+                 ? std::max(1, static_cast<int>(
+                                   std::thread::hardware_concurrency()))
+                 : std::max(request.search_threads, 1));
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    pool.ParallelFor(top_k, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        seconds[i] = EvaluatePlanOnSimulator(topo, config, health,
+                                             *scored[i].plan, request.elems);
+      }
+    });
+  } else {
+    for (int i = 0; i < top_k; ++i) {
+      seconds[i] = EvaluatePlanOnSimulator(topo, config, health,
+                                           *scored[i].plan, request.elems);
+    }
+  }
   bool have_best = false;
   for (int i = 0; i < top_k; ++i) {
-    const SimTime seconds = EvaluatePlanOnSimulator(
-        topo, config, health, *scored[i].plan, request.elems);
     const bool better =
-        !have_best || seconds < result.predicted_seconds ||
-        (seconds == result.predicted_seconds &&
+        !have_best || seconds[i] < result.predicted_seconds ||
+        (seconds[i] == result.predicted_seconds &&
          scored[i].name < result.plan.name());
     if (better) {
       have_best = true;
       result.plan = *scored[i].plan;
-      result.predicted_seconds = seconds;
+      result.predicted_seconds = seconds[i];
       result.estimated_seconds = scored[i].estimate;
     }
   }

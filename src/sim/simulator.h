@@ -4,22 +4,32 @@
 // phases, host pipeline stages — is expressed as events on one global
 // simulated clock. Events at equal timestamps run in insertion order, which
 // together with the deterministic RNG makes every simulation bit-reproducible.
+//
+// The hot path is allocation-free: callbacks live inline in the event (or in
+// recycled pool blocks — see event_callback.h) and pending events sit in an
+// indexed calendar queue (calendar_queue.h) that extracts in exact
+// (when, seq) order. A Simulator and everything it schedules is confined to
+// one thread; independent Simulators on different threads do not share
+// state, which is what lets sweeps and planner searches run points in
+// parallel with bit-identical results.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/check.h"
 #include "common/units.h"
+#include "sim/calendar_queue.h"
+#include "sim/event_callback.h"
 
 namespace tpu::sim {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
+
+  Simulator() : pool_baseline_(CallbackPool::ThisThread().stats()) {}
 
   SimTime now() const { return now_; }
 
@@ -32,7 +42,12 @@ class Simulator {
   // Schedules `cb` at an absolute simulated time >= now().
   void ScheduleAt(SimTime when, Callback cb) {
     TPU_CHECK_GE(when, now_);
-    queue_.push(Event{when, next_seq_++, std::move(cb)});
+    if (cb.storage() == EventCallback::Storage::kInline) {
+      ++callbacks_inline_;
+    } else {
+      ++callbacks_pooled_;
+    }
+    queue_.Push(Event{when, next_seq_++, std::move(cb)});
     ++events_scheduled_;
     if (queue_.size() > peak_queue_depth_) peak_queue_depth_ = queue_.size();
   }
@@ -56,7 +71,7 @@ class Simulator {
   // selects the clock value when the queue drained early (see above).
   SimTime RunUntil(SimTime deadline,
                    DeadlinePolicy policy = DeadlinePolicy::kAdvanceToDeadline) {
-    while (!queue_.empty() && queue_.top().when <= deadline) Step();
+    while (!queue_.empty() && queue_.Top().when <= deadline) Step();
     if (policy == DeadlinePolicy::kAdvanceToDeadline && now_ < deadline) {
       now_ = deadline;
     }
@@ -70,35 +85,51 @@ class Simulator {
   // High-water mark of the pending-event queue.
   std::size_t peak_queue_depth() const { return peak_queue_depth_; }
 
+  // Event-core health: how callbacks were stored, and how the out-of-line
+  // pool behaved over this simulator's lifetime (deltas against the owning
+  // thread's pool at construction — exact while one simulator at a time runs
+  // on the thread, which is how every driver here uses them).
+  std::uint64_t callbacks_inline() const { return callbacks_inline_; }
+  std::uint64_t callbacks_pooled() const { return callbacks_pooled_; }
+  std::uint64_t pool_hits() const {
+    return CallbackPool::ThisThread().stats().hits - pool_baseline_.hits;
+  }
+  std::uint64_t pool_fresh_allocs() const {
+    return CallbackPool::ThisThread().stats().fresh - pool_baseline_.fresh;
+  }
+  std::uint64_t pool_oversize_allocs() const {
+    return CallbackPool::ThisThread().stats().oversize -
+           pool_baseline_.oversize;
+  }
+  // Times the calendar queue re-centered its bucket window.
+  std::uint64_t queue_refills() const { return queue_.refills(); }
+
  private:
   struct Event {
     SimTime when;
     std::uint64_t seq;  // tie-break: equal-time events run in schedule order
     Callback cb;
-
-    bool operator>(const Event& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
   };
 
   void Step() {
-    // priority_queue::top() is const; the callback must be moved out before
-    // pop because running it may schedule new events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    // PopTop moves the event out before the callback runs, so callbacks are
+    // free to schedule new events (no reference into the queue is held).
+    Event ev = queue_.PopTop();
     TPU_CHECK_GE(ev.when, now_);
     now_ = ev.when;
     ++events_processed_;
     ev.cb();
   }
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  CalendarQueue<Event> queue_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t events_scheduled_ = 0;
   std::size_t peak_queue_depth_ = 0;
+  std::uint64_t callbacks_inline_ = 0;
+  std::uint64_t callbacks_pooled_ = 0;
+  CallbackPool::Stats pool_baseline_;
 };
 
 // A serially-reusable resource (e.g. a unidirectional link or a host CPU):

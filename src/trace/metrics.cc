@@ -11,7 +11,10 @@
 namespace tpu::trace {
 namespace {
 
-MetricsRegistry* g_metrics = nullptr;
+// Thread-local for the same reason as the trace recorder (trace.cc):
+// worker threads running throwaway or parallel simulations must not race on
+// (or pollute) the main thread's registry.
+thread_local MetricsRegistry* g_metrics = nullptr;
 
 // Buckets per doubling of the value; 8 gives ~9%-wide buckets, tight enough
 // that interpolated percentiles are within a few percent of exact.
@@ -153,6 +156,18 @@ void ExportSimulatorMetrics(const sim::Simulator& simulator,
       .Add(static_cast<std::int64_t>(simulator.events_scheduled()));
   metrics.Gauge(prefix + ".peak_queue_depth")
       .Max(static_cast<double>(simulator.peak_queue_depth()));
+  metrics.Counter(prefix + ".callbacks_inline")
+      .Add(static_cast<std::int64_t>(simulator.callbacks_inline()));
+  metrics.Counter(prefix + ".callbacks_pooled")
+      .Add(static_cast<std::int64_t>(simulator.callbacks_pooled()));
+  metrics.Counter(prefix + ".pool_hits")
+      .Add(static_cast<std::int64_t>(simulator.pool_hits()));
+  metrics.Counter(prefix + ".pool_fresh_allocs")
+      .Add(static_cast<std::int64_t>(simulator.pool_fresh_allocs()));
+  metrics.Counter(prefix + ".pool_oversize_allocs")
+      .Add(static_cast<std::int64_t>(simulator.pool_oversize_allocs()));
+  metrics.Counter(prefix + ".queue_refills")
+      .Add(static_cast<std::int64_t>(simulator.queue_refills()));
 }
 
 }  // namespace tpu::trace

@@ -110,8 +110,10 @@ class ScopedMetrics {
   MetricsRegistry* previous_;
 };
 
-// Accumulates one simulator's lifetime statistics (events processed and
-// scheduled, peak queue depth) into the registry under `prefix`.
+// Accumulates one simulator's lifetime statistics into the registry under
+// `prefix`: events processed/scheduled, peak queue depth, callback storage
+// split (inline vs pooled), callback-pool allocator health (hits vs fresh vs
+// oversize allocations), and calendar-queue window refills.
 void ExportSimulatorMetrics(const sim::Simulator& simulator,
                             const std::string& prefix,
                             MetricsRegistry& metrics);

@@ -11,7 +11,11 @@
 namespace tpu::trace {
 namespace {
 
-TraceRecorder* g_current = nullptr;
+// Thread-local so independent deterministic simulations (parallel sweep
+// points, planner candidate re-pricing) can run on worker threads without
+// racing on the recorder: workers observe a null recorder unless they
+// install their own.
+thread_local TraceRecorder* g_current = nullptr;
 
 std::string TrackKey(const std::string& process, const std::string& thread) {
   std::string key = process;

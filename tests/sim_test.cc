@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -99,6 +100,100 @@ TEST(Simulator, CountsProcessedEvents) {
   for (int i = 0; i < 7; ++i) simulator.Schedule(0.5, [] {});
   simulator.Run();
   EXPECT_EQ(simulator.events_processed(), 7u);
+}
+
+TEST(Simulator, CallbackScheduledEqualTimeEventsRunInScheduleOrder) {
+  // Regression for the event-core rewrite: events scheduled *from within a
+  // callback* at a timestamp equal to already-queued events must interleave
+  // in sequence order, exactly as the old single-heap queue ordered them.
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.Schedule(1.0, [&] {
+    order.push_back(0);
+    // now == 1.0: these land at t=2.0, *after* the pre-queued t=2.0 events
+    // below in sequence order.
+    simulator.Schedule(1.0, [&] { order.push_back(3); });
+    simulator.Schedule(1.0, [&] { order.push_back(4); });
+  });
+  simulator.Schedule(2.0, [&] { order.push_back(1); });
+  simulator.Schedule(2.0, [&] { order.push_back(2); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, OutOfOrderPushesWithinOneBucketStayExact) {
+  // Two events nanoseconds apart land in the same calendar bucket; pushing
+  // the later one first must not disturb (when, seq) extraction order.
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.ScheduleAt(1.0e-9 + 2.0e-10, [&] { order.push_back(1); });
+  simulator.ScheduleAt(1.0e-9, [&] { order.push_back(0); });
+  simulator.ScheduleAt(1.0e-9 + 1.0e-10, [&] { order.push_back(2); });
+  // Equal-time tiebreak by sequence alongside the out-of-order pushes.
+  simulator.ScheduleAt(1.0e-9, [&] { order.push_back(3); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 2, 1}));
+}
+
+TEST(Simulator, FarFutureEventsCrossTheOverflowWindow) {
+  // Events beyond the bucketed window park in the overflow heap; draining
+  // them exercises window refills without disturbing order.
+  Simulator simulator;
+  std::vector<double> times;
+  for (const double when : {3600.0, 0.5e-6, 7200.0, 1.0}) {
+    simulator.ScheduleAt(when, [&times, &simulator] {
+      times.push_back(simulator.now());
+    });
+  }
+  simulator.Run();
+  EXPECT_EQ(times, (std::vector<double>{0.5e-6, 1.0, 3600.0, 7200.0}));
+  EXPECT_GT(simulator.queue_refills(), 0u);
+}
+
+TEST(Simulator, CallbacksOwnMoveOnlyCaptures) {
+  Simulator simulator;
+  int result = 0;
+  auto value = std::make_unique<int>(42);
+  simulator.Schedule(1.0, [&result, value = std::move(value)] {
+    result = *value;
+  });
+  simulator.Run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Simulator, LargeCapturesUsePooledStorageAndRecycle) {
+  Simulator simulator;
+  struct BigCapture {
+    double padding[16];  // 128 bytes: over the inline budget
+    int* counter;
+  };
+  int fired = 0;
+  for (int round = 0; round < 3; ++round) {
+    BigCapture big{};
+    big.counter = &fired;
+    simulator.Schedule(1.0, [big] { ++*big.counter; });
+    simulator.Run();
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(simulator.callbacks_pooled(), 3u);
+  // The pool allocates at most one block (the thread-local pool may already
+  // be warm from earlier tests) and recycles it on later rounds.
+  EXPECT_LE(simulator.pool_fresh_allocs(), 1u);
+  EXPECT_GE(simulator.pool_hits(), 2u);
+  EXPECT_EQ(simulator.pool_oversize_allocs(), 0u);
+  EXPECT_EQ(simulator.pool_fresh_allocs() + simulator.pool_hits(), 3u);
+}
+
+TEST(Simulator, ExportsEventCoreCounters) {
+  Simulator simulator;
+  for (int i = 0; i < 5; ++i) simulator.Schedule(1.0 + i, [] {});
+  EXPECT_EQ(simulator.events_scheduled(), 5u);
+  EXPECT_EQ(simulator.peak_queue_depth(), 5u);
+  EXPECT_EQ(simulator.callbacks_inline(), 5u);
+  EXPECT_EQ(simulator.callbacks_pooled(), 0u);
+  simulator.Run();
+  EXPECT_EQ(simulator.events_processed(), 5u);
+  EXPECT_EQ(simulator.peak_queue_depth(), 5u);  // sticky high-water mark
 }
 
 TEST(FifoResource, SerializesOverlappingAcquisitions) {
