@@ -17,6 +17,11 @@ int main() {
              "V100 pub", "V100 sim");
 
   for (models::Benchmark b : models::AllBenchmarks()) {
+    // --smoke keeps the two cheapest submission-scale rows.
+    if (bench::Smoke() && b != models::Benchmark::kResNet50 &&
+        b != models::Benchmark::kTransformer) {
+      continue;
+    }
     const auto scale = models::GetSubmissionScale(b);
     core::MultipodSystem system(scale.chips);
     const auto tpu =

@@ -31,6 +31,7 @@ int main() {
 
   // Where the lost efficiency goes: per-partition compute vs inserted comm
   // for the 8-way SSD split.
+  if (bench::Smoke()) return 0;
   std::printf("\nSSD 8-way split detail (Section 4.4's overheads):\n");
   models::ShardableBlock block = models::SsdBackboneBlock();
   hlo::TpuCoreModel tpu_core;

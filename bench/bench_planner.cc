@@ -15,10 +15,14 @@
 //      pipelined variants of the canonical shape.
 //
 // TPU_BENCH_PLAN_DUMP=PATH writes the chosen golden plan and the full ranked
-// candidate list to PATH (the CI artifact).
+// candidate list to PATH (the CI artifact). --json=PATH writes the purely
+// simulated results (no wall clock) as JSON: identical builds produce
+// byte-identical files, which is what tools/bench_compare.py diffs against
+// the committed baseline as a bit-exactness gate.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -37,6 +41,13 @@
 namespace {
 
 constexpr std::int64_t kBertElems = 340 * 1000 * 1000;  // ~340M parameters
+
+// %.17g: doubles round-trip exactly, so the JSON is a bit-exactness probe.
+std::string Num(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
 
 double FixedScheduleMs(const tpu::topo::MeshTopology& topo,
                        std::int64_t elems) {
@@ -58,6 +69,7 @@ int main() {
   const bool smoke = bench::Smoke();
   const char* kGolden = "ring-2d[Y->X] bidir bf16";
   int failures = 0;
+  std::ostringstream json_healthy, json_degraded, json_chunked;
 
   // 1. Healthy sweep: the search must converge on the paper's schedule.
   bench::Row("%5s | %-26s %10s %10s %6s | %10s", "chips", "chosen plan",
@@ -76,6 +88,14 @@ int main() {
     bench::Row("%5d | %-26s %10.4f %10.4f %6d | %10.4f", chips,
                best.plan.name().c_str(), ToMillis(best.predicted_seconds),
                ToMillis(best.estimated_seconds), best.candidates, fixed_ms);
+    if (json_healthy.tellp() > 0) json_healthy << ",";
+    json_healthy << "{\"chips\":" << chips << ",\"plan\":\""
+                 << best.plan.name() << "\",\"predicted_ms\":"
+                 << Num(ToMillis(best.predicted_seconds))
+                 << ",\"estimated_ms\":"
+                 << Num(ToMillis(best.estimated_seconds))
+                 << ",\"candidates\":" << best.candidates
+                 << ",\"fixed_ms\":" << Num(fixed_ms) << "}";
     if (best.plan.name() != kGolden) {
       std::fprintf(stderr, "FAIL: %d chips chose '%s', want '%s'\n", chips,
                    best.plan.name().c_str(), kGolden);
@@ -135,6 +155,7 @@ int main() {
           coll::TwoDGradientSummation(network, config).total();
       bench::Row("fixed 2-D rings      : %12.1f s (stalled on the dead link)",
                  stalled);
+      json_degraded << "\"fixed_s\":" << Num(stalled);
       continue;
     }
     fault::HealthMonitor monitor;
@@ -145,6 +166,10 @@ int main() {
                outcome.detected_at, outcome.replan.plan.name().c_str());
     bench::Row("                       retry %.4f s vs first attempt %.1f s",
                outcome.second.total(), outcome.first.total());
+    json_degraded << ",\"detected_at_s\":" << Num(outcome.detected_at)
+                  << ",\"replan\":\"" << outcome.replan.plan.name()
+                  << "\",\"first_s\":" << Num(outcome.first.total())
+                  << ",\"retry_s\":" << Num(outcome.second.total());
     if (!outcome.replanned ||
         outcome.second.total() >= outcome.first.total()) {
       std::fprintf(stderr, "FAIL: replanned schedule did not beat the fixed "
@@ -166,6 +191,20 @@ int main() {
         plan::FindBestPlan(pod, net::NetworkConfig{}, request);
     bench::Row("%10d | %-30s %10.4f", max_chunks, best.plan.name().c_str(),
                ToMillis(best.predicted_seconds));
+    if (json_chunked.tellp() > 0) json_chunked << ",";
+    json_chunked << "{\"max_chunks\":" << max_chunks << ",\"plan\":\""
+                 << best.plan.name() << "\",\"predicted_ms\":"
+                 << Num(ToMillis(best.predicted_seconds)) << "}";
+  }
+
+  // --json: only simulated quantities, so identical builds produce
+  // byte-identical files (the bench_compare.py bit-exactness gate).
+  if (!bench::JsonPath().empty()) {
+    std::ofstream out(bench::JsonPath());
+    out << "{\"smoke\":" << (smoke ? "true" : "false") << ",\"healthy\":["
+        << json_healthy.str() << "],\"degraded\":{" << json_degraded.str()
+        << "},\"chunked\":[" << json_chunked.str() << "]}\n";
+    std::fprintf(stderr, "planner json -> %s\n", bench::JsonPath().c_str());
   }
 
   if (failures > 0) {

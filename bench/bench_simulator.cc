@@ -127,6 +127,7 @@ void BM_PlannerSearch(benchmark::State& state) {
     const auto result =
         plan::FindBestPlan(topo, net::NetworkConfig{}, request);
     benchmark::DoNotOptimize(result.predicted_seconds);
+    state.counters["sim_ms"] = ToMillis(result.predicted_seconds);
   }
   state.SetLabel("chips=" + std::to_string(chips));
 }
@@ -145,6 +146,7 @@ void BM_ScalingSweep(benchmark::State& state) {
     config.threads = threads;
     const auto points = core::RunScalingSweep(config);
     benchmark::DoNotOptimize(points.back().step.step());
+    state.counters["sim_ms"] = ToMillis(points.back().step.step());
   }
   state.SetLabel("threads=" + std::to_string(threads));
 }
@@ -159,7 +161,8 @@ int main(int argc, char** argv) {
     // bench_util's flags are not google-benchmark flags; strip them.
     if (std::strncmp(argv[i], "--smoke", 7) == 0 ||
         std::strncmp(argv[i], "--trace=", 8) == 0 ||
-        std::strncmp(argv[i], "--metrics", 9) == 0) {
+        std::strncmp(argv[i], "--metrics", 9) == 0 ||
+        std::strncmp(argv[i], "--json=", 7) == 0) {
       continue;
     }
     args.push_back(argv[i]);

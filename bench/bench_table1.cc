@@ -29,6 +29,11 @@ int main() {
   };
 
   for (const PaperRow& row : rows) {
+    // --smoke keeps the two cheapest submission-scale rows.
+    if (bench::Smoke() && row.benchmark != models::Benchmark::kResNet50 &&
+        row.benchmark != models::Benchmark::kTransformer) {
+      continue;
+    }
     const auto scale = models::GetSubmissionScale(row.benchmark);
     core::MultipodSystem system(scale.chips);
     const auto tf = system.SimulateSubmission(

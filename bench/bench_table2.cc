@@ -42,7 +42,9 @@ int main() {
   std::printf("\nTF graph distribution, DES host-network model (16 MiB/graph):\n");
   bench::Row("%6s | %12s %12s", "hosts", "DES (s)", "analytic (s)");
   frameworks::RuntimeModelConfig analytic;
-  for (int hosts : {64, 256, 1024}) {
+  const std::vector<int> host_counts =
+      bench::Smoke() ? std::vector<int>{64} : std::vector<int>{64, 256, 1024};
+  for (int hosts : host_counts) {
     bench::Row("%6d | %12.1f %12.1f", hosts,
                frameworks::SimulateGraphDistribution(hosts, 16 * kMiB),
                analytic.tf_per_host_rpc * hosts);
@@ -53,7 +55,10 @@ int main() {
   std::printf("\nTF init breakdown scaling (ResNet-50):\n");
   bench::Row("%6s | %8s %8s %8s %8s", "chips", "graph", "compile", "rpc",
              "mesh");
-  for (int chips : {256, 1024, 4096}) {
+  const std::vector<int> breakdown_chips =
+      bench::Smoke() ? std::vector<int>{256}
+                     : std::vector<int>{256, 1024, 4096};
+  for (int chips : breakdown_chips) {
     const auto tf = frameworks::EstimateInitTime(
         frameworks::Framework::kTensorFlow, models::Benchmark::kResNet50,
         chips);

@@ -13,6 +13,9 @@
 //                                             to PATH)
 //   --smoke         (TPU_BENCH_SMOKE=1)       reduced-scale run (benches opt
 //                                             in via bench::Smoke())
+//   --json=PATH     (TPU_BENCH_JSON=PATH)     machine-readable results to
+//                                             PATH (benches opt in via
+//                                             bench::JsonPath())
 // Header() installs the process-global recorder/registry; files are written
 // by an atexit hook so benches need no per-bench changes.
 #pragma once
@@ -36,6 +39,7 @@ struct ObservabilityEnv {
   trace::MetricsRegistry metrics;
   std::string trace_path;
   std::string metrics_path;  // empty with metrics_on: text dump to stderr
+  std::string json_path;
   bool metrics_on = false;
   bool smoke = false;
   bool initialized = false;
@@ -106,6 +110,7 @@ inline void InitObservability() {
     if (arg.rfind("--", 0) != 0) continue;
     const bool known = arg.rfind("--trace=", 0) == 0 || arg == "--metrics" ||
                        arg.rfind("--metrics=", 0) == 0 || arg == "--smoke" ||
+                       arg.rfind("--json=", 0) == 0 ||
                        arg.rfind("--benchmark", 0) == 0;
     if (!known) {
       std::fprintf(stderr,
@@ -114,7 +119,8 @@ inline void InitObservability() {
                    "  --trace=PATH    write a Chrome trace to PATH\n"
                    "  --metrics       dump the metrics registry to stderr\n"
                    "  --metrics=PATH  dump the metrics registry as JSON\n"
-                   "  --smoke         reduced-scale run\n",
+                   "  --smoke         reduced-scale run\n"
+                   "  --json=PATH     machine-readable results to PATH\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -129,6 +135,9 @@ inline void InitObservability() {
   if (const char* v = std::getenv("TPU_BENCH_SMOKE")) {
     if (std::string(v) == "1") args.push_back("--smoke");
   }
+  if (const char* v = std::getenv("TPU_BENCH_JSON")) {
+    args.push_back(std::string("--json=") + v);
+  }
   for (const std::string& arg : args) {
     if (arg.rfind("--trace=", 0) == 0) {
       env.trace_path = arg.substr(8);
@@ -139,6 +148,8 @@ inline void InitObservability() {
       env.metrics_path = arg.substr(10);
     } else if (arg == "--smoke") {
       env.smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      env.json_path = arg.substr(7);
     }
   }
 
@@ -162,6 +173,15 @@ inline bool Smoke() {
   return internal::Env().smoke;
 }
 
+// Destination of --json=PATH (or TPU_BENCH_JSON=PATH); empty when the flag
+// was not passed. Benches that support machine-readable output write their
+// simulated (wall-clock-free, bit-reproducible) results there — the file
+// tools/bench_compare.py diffs against the committed baseline.
+inline const std::string& JsonPath() {
+  internal::InitObservability();
+  return internal::Env().json_path;
+}
+
 inline void Header(const std::string& title, const std::string& paper_ref) {
   internal::InitObservability();
   std::printf("\n=== %s ===\n", title.c_str());
@@ -177,8 +197,10 @@ inline void Row(const char* format, ...) {
   std::printf("\n");
 }
 
-// The chip scales swept in the paper's scaling figures.
+// The chip scales swept in the paper's scaling figures. --smoke trims the
+// sweep to the sub-second scales so CI can exercise every figure bench.
 inline std::vector<int> ScalingChips() {
+  if (Smoke()) return {16, 32, 64, 128};
   return {16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
 }
 

@@ -191,6 +191,10 @@ GradientSummationResult TwoDGradientSummation(
           end_y_ag = -1;
   SimTime exp_y_rs = 0, exp_x_rs = 0, exp_x_ag = 0, exp_y_ag = 0;
 
+  // Phase labels for the causal observer (critical-path attribution): set
+  // just before each phase schedules its events. Pure observation.
+  sim::EventObserver* observer = sim::CurrentEventObserver();
+
   // Declared in reverse chain order; each stage captures its successor by
   // reference (all outlive the Run() below). Expectations are estimated at
   // each phase's start so they see the then-current link occupancy.
@@ -200,6 +204,7 @@ GradientSummationResult TwoDGradientSummation(
     if (monitored) {
       exp_y_ag = ExpectedRingPhaseSeconds(network, y_rings, config.collective);
     }
+    if (observer != nullptr) observer->OnPhase("Y-all-gather");
     StartAllGather(network, y_rings, config.collective, after_y_ag);
   };
   std::function<void()> start_x_ag = [&] {
@@ -207,6 +212,7 @@ GradientSummationResult TwoDGradientSummation(
     if (monitored) {
       exp_x_ag = ExpectedRingPhaseSeconds(network, x_rings, config.collective);
     }
+    if (observer != nullptr) observer->OnPhase("X-all-gather");
     StartAllGather(network, x_rings, config.collective, start_y_ag);
   };
   // Phase 3: sharded weight update (weight-update sharding, Section 3.2).
@@ -216,6 +222,7 @@ GradientSummationResult TwoDGradientSummation(
       start_x_ag();
       return;
     }
+    if (observer != nullptr) observer->OnPhase("sharded-update");
     auto barrier =
         std::make_shared<sim::Barrier>(topo.num_chips(), start_x_ag);
     for (int chip = 0; chip < topo.num_chips(); ++chip) {
@@ -228,11 +235,13 @@ GradientSummationResult TwoDGradientSummation(
     if (monitored) {
       exp_x_rs = ExpectedRingPhaseSeconds(network, x_rings, config.collective);
     }
+    if (observer != nullptr) observer->OnPhase("X-reduce-scatter");
     StartReduceScatter(network, x_rings, config.collective, start_update);
   };
   if (monitored) {
     exp_y_rs = ExpectedRingPhaseSeconds(network, y_rings, config.collective);
   }
+  if (observer != nullptr) observer->OnPhase("Y-reduce-scatter");
   StartReduceScatter(network, y_rings, config.collective, start_x_rs);
   simulator.Run();
   TPU_CHECK_GE(end_y_ag, 0.0);
@@ -313,6 +322,10 @@ SimTime PipelinedTwoDGradientSummation(
   sim::Simulator& simulator = network.simulator();
   trace::TraceRecorder* recorder = trace::CurrentTrace();
   const SimTime start = simulator.now();
+  if (sim::EventObserver* observer = sim::CurrentEventObserver()) {
+    // Chunk phases overlap, so a single label covers the fused collective.
+    observer->OnPhase("pipelined-2d");
+  }
 
   // Shared ring layouts (identical for every slice).
   const std::vector<topo::ChipId> y_ring0 =

@@ -31,9 +31,17 @@ class StepBarrier {
   StepBarrier(int expected, sim::Simulator::Callback on_all_done)
       : remaining_(expected), on_all_done_(std::move(on_all_done)) {
     TPU_CHECK_GT(expected, 0);
+    if (sim::EventObserver* observer = sim::CurrentEventObserver()) {
+      join_ = observer->OnJoinOpen(expected);
+    }
   }
 
   void Notify() {
+    if (join_ >= 0) {
+      if (sim::EventObserver* observer = sim::CurrentEventObserver()) {
+        observer->OnJoinNotify(join_);
+      }
+    }
     if (--remaining_ == 0) {
       on_all_done_();
       delete this;
@@ -42,6 +50,7 @@ class StepBarrier {
 
  private:
   int remaining_;
+  int join_ = -1;
   sim::Simulator::Callback on_all_done_;
 };
 

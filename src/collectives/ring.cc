@@ -38,14 +38,24 @@ std::pair<Range, Range> DirectionHalves(const Range& range) {
 // capture it as a raw pointer (8 inline bytes, no refcount traffic), which is
 // safe because every simulated message completes — even failed-link sends
 // finish after their stall — so the notification count always reaches n.
+// Under a causal observer the barrier registers as a join, so slack analysis
+// sees which rank's transfer released each ring step.
 class StepBarrier {
  public:
   StepBarrier(int expected, sim::Simulator::Callback on_all_done)
       : remaining_(expected), on_all_done_(std::move(on_all_done)) {
     TPU_CHECK_GT(expected, 0);
+    if (sim::EventObserver* observer = sim::CurrentEventObserver()) {
+      join_ = observer->OnJoinOpen(expected);
+    }
   }
 
   void Notify() {
+    if (join_ >= 0) {
+      if (sim::EventObserver* observer = sim::CurrentEventObserver()) {
+        observer->OnJoinNotify(join_);
+      }
+    }
     if (--remaining_ == 0) {
       on_all_done_();
       delete this;
@@ -54,6 +64,7 @@ class StepBarrier {
 
  private:
   int remaining_;
+  int join_ = -1;
   sim::Simulator::Callback on_all_done_;
 };
 

@@ -13,6 +13,7 @@
 #include "models/blocks.h"
 #include "sim/simulator.h"
 #include "spmd/spmd.h"
+#include "trace/critical_path.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
@@ -203,7 +204,8 @@ StepBreakdown MultipodSystem::SimulateStep(const models::ModelSpec& spec,
                                            std::int64_t global_batch,
                                            int model_parallel_cores,
                                            const optim::Optimizer* optimizer,
-                                           trace::StepProfiler* profiler) {
+                                           trace::StepProfiler* profiler,
+                                           trace::RunReport* report) {
   TPU_CHECK_GE(model_parallel_cores, 1);
   TPU_CHECK_EQ(num_cores() % model_parallel_cores, 0);
   const std::int64_t replicas = num_cores() / model_parallel_cores;
@@ -255,13 +257,24 @@ StepBreakdown MultipodSystem::SimulateStep(const models::ModelSpec& spec,
   trace::MetricsRegistry* metrics = trace::CurrentMetrics();
   const SimTime trace_base =
       recorder != nullptr ? recorder->last_timestamp() : 0.0;
+  // Causal tracking is opt-in via `report`; when off, the observer slot is
+  // left exactly as found so disabled runs stay bit-identical.
+  trace::CriticalPathTracker tracker;
+  bool planned = false;
+  std::string plan_name;
+  SimTime plan_predicted = 0, plan_estimated = 0;
   const coll::GradientSummationResult result = [&] {
     trace::ScopedTimeOffset offset(recorder, trace_base + step.compute);
+    sim::ScopedEventObserver observe(
+        report != nullptr ? static_cast<sim::EventObserver*>(&tracker)
+                          : sim::CurrentEventObserver());
     if (!options_.collective_planner) {
       return coll::TwoDGradientSummation(network, summation);
     }
     // Planner mode: search (memoized per payload/stride) for the best
     // schedule and execute it. The wire-format options become search bounds.
+    // The search's throwaway candidate evaluations silence the observer
+    // themselves; only the chosen plan's real execution is tracked.
     plan::PlanRequest request;
     request.elems = summation.elems;
     request.model_parallel_stride = chips_per_group;
@@ -269,6 +282,10 @@ StepBreakdown MultipodSystem::SimulateStep(const models::ModelSpec& spec,
     request.allow_bidirectional = options_.bidirectional_rings;
     const plan::PlannerResult best = plan::FindBestPlan(
         topology_, options_.network, request, {}, &plan_cache_);
+    planned = true;
+    plan_name = best.plan.name();
+    plan_predicted = best.predicted_seconds;
+    plan_estimated = best.estimated_seconds;
     plan::PlanExecutionConfig exec_config;
     exec_config.shard_update_seconds = summation.shard_update_seconds;
     const plan::PlanExecutionResult exec =
@@ -343,6 +360,40 @@ StepBreakdown MultipodSystem::SimulateStep(const models::ModelSpec& spec,
     metrics->Histogram("step.total_us").Record(ToMicros(step.step()));
     network.ExportMetrics(*metrics);
     trace::ExportSimulatorMetrics(simulator, "step.sim", *metrics);
+  }
+  if (report != nullptr) {
+    report->label = std::string("step ") + spec.name;
+    report->phases.clear();
+    report->phases.push_back({"forward", forward});
+    report->phases.push_back({"backward", step.compute - forward});
+    report->phases.push_back(
+        {"Y-reduce-scatter", result.phase_seconds.y_reduce_scatter});
+    report->phases.push_back(
+        {"X-reduce-scatter", result.phase_seconds.x_reduce_scatter});
+    report->phases.push_back({"sharded-update", step.weight_update});
+    report->phases.push_back(
+        {"X-all-gather", result.phase_seconds.x_all_gather});
+    report->phases.push_back(
+        {"Y-all-gather", result.phase_seconds.y_all_gather});
+    if (step.embedding_comm > 0) {
+      report->phases.push_back({"embedding-comm", step.embedding_comm});
+    }
+    report->step_seconds = step.step();
+    report->compute_seconds = step.compute;
+    report->comm_seconds = step.allreduce + step.embedding_comm;
+    report->planned = planned;
+    report->plan_name = plan_name;
+    report->plan_predicted_seconds = plan_predicted;
+    report->plan_estimated_seconds = plan_estimated;
+    report->has_critical_path = true;
+    report->critical_path = tracker.Analyze();
+    report->metrics_json = metrics != nullptr ? metrics->ToJson() : "";
+    if (recorder != nullptr) {
+      // Stitch the causal chain through the timeline at the same offset the
+      // collective's spans were recorded under.
+      trace::ScopedTimeOffset offset(recorder, trace_base + step.compute);
+      trace::EmitCriticalPathToTrace(report->critical_path, *recorder);
+    }
   }
   return step;
 }

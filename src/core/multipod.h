@@ -27,6 +27,7 @@
 #include "optim/optimizer.h"
 #include "plan/cache.h"
 #include "topology/topology.h"
+#include "trace/run_report.h"
 #include "trace/step_profiler.h"
 
 namespace tpu::core {
@@ -142,11 +143,20 @@ class MultipodSystem {
   // timeline: the internal collective simulation runs on a fresh clock, so
   // its spans are shifted past the analytic compute phases via the
   // recorder's time offset.
+  //
+  // `report`, when non-null, opts the step into causal event tracking: the
+  // collective execution runs with a CriticalPathTracker installed (the
+  // planner's throwaway candidate evaluations stay excluded) and the report
+  // is filled with the step breakdown, the extracted critical path with
+  // link/phase attribution, the slack and what-if tables, planner provenance
+  // and a metrics snapshot. With a trace recorder also installed, the
+  // critical path lands on the timeline as flow-linked slices.
   StepBreakdown SimulateStep(const models::ModelSpec& spec,
                              std::int64_t global_batch,
                              int model_parallel_cores,
                              const optim::Optimizer* optimizer = nullptr,
-                             trace::StepProfiler* profiler = nullptr);
+                             trace::StepProfiler* profiler = nullptr,
+                             trace::RunReport* report = nullptr);
 
   // Full MLPerf run at this scale: steps-to-converge x step time + the
   // evaluation schedule. Framework affects only the eval-metric path (init

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "trace/metrics.h"
 
 namespace tpu::gpu {
 
@@ -67,6 +68,22 @@ GpuStepBreakdown GpuStepTime(const GpuSystemConfig& config,
     const double fabric =
         static_cast<double>(num_gpus) * config.ib_bandwidth_per_gpu;
     step.embedding_comm = bytes / 2 / fabric + config.ib_latency * 8;
+  }
+  if (trace::MetricsRegistry* metrics = trace::CurrentMetrics()) {
+    // The GPU baseline is analytic (no simulator run to export from), so the
+    // step estimate itself is the observable: gauges under gpu.<system>.*
+    // land next to the simulated multipod.* metrics in the same dump.
+    const std::string prefix = "gpu." + config.name + ".";
+    metrics->Gauge(prefix + "compute_seconds").Set(step.compute);
+    metrics->Gauge(prefix + "allreduce_seconds").Set(step.allreduce);
+    if (spec.embedding_parameters > 0) {
+      metrics->Gauge(prefix + "embedding_comm_seconds")
+          .Set(step.embedding_comm);
+    }
+    metrics->Gauge(prefix + "step_seconds").Set(step.step());
+    metrics->Gauge(prefix + "utilization").Set(utilization);
+    metrics->Gauge(prefix + "max_gpus").Max(static_cast<double>(num_gpus));
+    metrics->Counter(prefix + "step_estimates").Add(1);
   }
   return step;
 }

@@ -79,9 +79,19 @@ void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
   ++traffic_.messages;
   trace::TraceRecorder* recorder = trace::CurrentTrace();
   trace::MetricsRegistry* metrics = trace::CurrentMetrics();
+  sim::EventObserver* observer = sim::CurrentEventObserver();
   if (recorder != nullptr) EnsureTraceState(recorder);
   if (from == to) {
-    simulator_->Schedule(config_.message_overhead, std::move(on_done));
+    const std::uint64_t done_seq =
+        simulator_->Schedule(config_.message_overhead, std::move(on_done));
+    if (observer != nullptr) {
+      sim::MessageRecord record;
+      record.from = from;
+      record.to = to;
+      record.bytes = bytes;
+      record.overhead = config_.message_overhead;
+      observer->OnMessage(done_seq, std::move(record));
+    }
     return;
   }
 
@@ -92,11 +102,21 @@ void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
   // Send-call order (the simulator is single-threaded). The hop parameters
   // come from the route cache; only live link state is read per message.
   const CachedRoute& route = RouteFor(from, to);
+  sim::MessageRecord record;
+  std::uint64_t done_seq = 0;
+  if (observer != nullptr) {
+    record.from = from;
+    record.to = to;
+    record.bytes = bytes;
+    record.overhead = config_.message_overhead;
+    record.hops.reserve(route.hops.size());
+  }
   SimTime head = simulator_->now() + config_.message_overhead;
   for (std::size_t i = 0; i < route.hops.size(); ++i) {
     const CachedHop& hop = route.hops[i];
-    SimTime serialize =
-        static_cast<double>(bytes) / hop.bandwidth * degradation_[hop.link];
+    const SimTime healthy_serialize =
+        static_cast<double>(bytes) / hop.bandwidth;
+    SimTime serialize = healthy_serialize * degradation_[hop.link];
     // A failed link stalls the message: it eventually "arrives" (so the event
     // queue drains and simulations terminate), but far past any deadline a
     // health monitor would set.
@@ -107,8 +127,20 @@ void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
     const bool last_hop = i + 1 == route.hops.size();
     if (last_hop) {
       // The completion callback fires when the message tail has arrived.
-      simulator_->ScheduleAt(start + serialize + hop.latency,
-                             std::move(on_done));
+      done_seq = simulator_->ScheduleAt(start + serialize + hop.latency,
+                                        std::move(on_done));
+    }
+    if (observer != nullptr) {
+      sim::MessageHopRecord hop_record;
+      hop_record.link = hop.link;
+      hop_record.pod = PodOf(topology_->link(hop.link).from);
+      hop_record.type_name = LinkTypeName(hop.type);
+      hop_record.queue = start - head;
+      hop_record.serialize = serialize;
+      hop_record.healthy_serialize = healthy_serialize;
+      hop_record.latency = hop.latency;
+      hop_record.start = start;
+      record.hops.push_back(hop_record);
     }
 
     if (recorder != nullptr) {
@@ -150,6 +182,11 @@ void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
         traffic_.wrap_y_bytes += bytes;
         break;
     }
+  }
+  if (observer != nullptr) {
+    // The completion event carries the message's provenance: which links it
+    // crossed, and where each hop's time went (queue/serialize/latency).
+    observer->OnMessage(done_seq, std::move(record));
   }
 }
 

@@ -143,11 +143,12 @@ SimTime EvaluatePlanOnSimulator(const topo::MeshTopology& topo,
                                 const LinkHealthSet& health,
                                 const CollectivePlan& plan,
                                 std::int64_t elems) {
-  // Candidate evaluations are throwaway: silence tracing and metrics so the
-  // search leaves no spans or counters behind — only the chosen plan's real
-  // execution is observable.
+  // Candidate evaluations are throwaway: silence tracing, metrics, and the
+  // causal observer so the search leaves no spans, counters, or event
+  // records behind — only the chosen plan's real execution is observable.
   trace::ScopedTrace no_trace(nullptr);
   trace::ScopedMetrics no_metrics(nullptr);
+  sim::ScopedEventObserver no_observer(nullptr);
   sim::Simulator simulator;
   net::Network network(&topo, config, &simulator);
   health.ApplyTo(network);

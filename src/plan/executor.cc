@@ -104,6 +104,9 @@ PlanExecutionResult ExecutePlan(net::Network& network,
               ? coll::ExpectedRingPhaseSeconds(network, *stage.specs, options)
               : coll::ExpectedHdPhaseSeconds(network, *stage.specs, options);
     }
+    if (sim::EventObserver* observer = sim::CurrentEventObserver()) {
+      observer->OnPhase(stage.name);
+    }
     std::function<void()> next = [&, i] {
       stage_end[i] = simulator.now();
       if (i != lowered.update_after || !config.shard_update_seconds) {
@@ -112,6 +115,9 @@ PlanExecutionResult ExecutePlan(net::Network& network,
       }
       // Sharded weight update on every chip's owned elements; the barrier
       // callback continues the chain (mirrors the fixed schedule's update).
+      if (sim::EventObserver* observer = sim::CurrentEventObserver()) {
+        observer->OnPhase("sharded-update");
+      }
       auto barrier = std::make_shared<sim::Barrier>(topo.num_chips(), [&, i] {
         update_end = simulator.now();
         launch(i + 1);

@@ -11,6 +11,7 @@
 #include "plan/cost.h"
 #include "plan/generator.h"
 #include "plan/schedule.h"
+#include "trace/critical_path.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
@@ -117,6 +118,45 @@ PlannerResult FindBestPlan(const topo::MeshTopology& topo,
     cache->Insert(key, {result.plan, result.predicted_seconds});
   }
   return result;
+}
+
+trace::RunReport ProbePlan(const topo::MeshTopology& topo,
+                           const net::NetworkConfig& config,
+                           const LinkHealthSet& health,
+                           const CollectivePlan& plan, std::int64_t elems,
+                           SimTime estimated_seconds) {
+  // Same throwaway discipline as EvaluatePlanOnSimulator — silence the
+  // trace/metrics globals so the probe leaves nothing behind — but with the
+  // causal tracker installed so the re-execution yields a full report.
+  trace::ScopedTrace no_trace(nullptr);
+  trace::ScopedMetrics no_metrics(nullptr);
+  trace::CriticalPathTracker tracker;
+  sim::ScopedEventObserver observe(&tracker);
+  sim::Simulator simulator;
+  net::Network network(&topo, config, &simulator);
+  health.ApplyTo(network);
+  const PlanExecutionResult result = ExecutePlan(network, plan, elems);
+
+  if (estimated_seconds < 0) {
+    estimated_seconds =
+        EstimatePlanSeconds(topo, config, health, LowerPlan(topo, plan, elems));
+  }
+
+  trace::RunReport report;
+  report.label = "probe " + plan.name();
+  report.planned = true;
+  report.plan_name = plan.name();
+  report.plan_predicted_seconds = result.total();
+  report.plan_estimated_seconds = estimated_seconds;
+  report.step_seconds = result.total();
+  report.compute_seconds = result.update_seconds;
+  report.comm_seconds = result.reduce_seconds + result.broadcast_seconds;
+  for (const PlanExecutionResult::StageSeconds& stage : result.stages) {
+    report.phases.push_back({stage.name, stage.seconds});
+  }
+  report.has_critical_path = true;
+  report.critical_path = tracker.Analyze();
+  return report;
 }
 
 MitigatedSummation ExecuteWithReplanning(net::Network& network,

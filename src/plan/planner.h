@@ -13,6 +13,8 @@
 // still degraded — network.
 #pragma once
 
+#include <cstdint>
+
 #include "common/units.h"
 #include "fault/health_monitor.h"
 #include "network/network.h"
@@ -20,6 +22,7 @@
 #include "plan/executor.h"
 #include "plan/plan_ir.h"
 #include "topology/topology.h"
+#include "trace/run_report.h"
 
 namespace tpu::plan {
 
@@ -37,6 +40,19 @@ PlannerResult FindBestPlan(const topo::MeshTopology& topo,
                            const PlanRequest& request,
                            const LinkHealthSet& health = {},
                            PlanCache* cache = nullptr);
+
+// Re-executes `plan` on a throwaway discrete-event network with `health`
+// applied and the causal critical-path tracker installed, and returns a
+// RunReport: per-stage phase seconds, the extracted critical path with
+// link/phase attribution, the slack and what-if tables, and the closed-form
+// estimate next to the simulated time — a direct accuracy probe for the
+// planner's two-tier evaluator. Pass the search's `estimated_seconds` to
+// reuse it; a negative value recomputes the estimate here.
+trace::RunReport ProbePlan(const topo::MeshTopology& topo,
+                           const net::NetworkConfig& config,
+                           const LinkHealthSet& health,
+                           const CollectivePlan& plan, std::int64_t elems,
+                           SimTime estimated_seconds = -1.0);
 
 // One monitored execution, plus the replanned retry when a phase overran its
 // deadline. `second.total()` is meaningful only when `replanned`.

@@ -22,6 +22,7 @@
 #include "common/units.h"
 #include "sim/calendar_queue.h"
 #include "sim/event_callback.h"
+#include "sim/event_observer.h"
 
 namespace tpu::sim {
 
@@ -33,23 +34,30 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
-  // Schedules `cb` to run at now() + delay. delay must be >= 0.
-  void Schedule(SimTime delay, Callback cb) {
+  // Schedules `cb` to run at now() + delay. delay must be >= 0. Returns the
+  // event's seq — its identity for causal observers (EventObserver).
+  std::uint64_t Schedule(SimTime delay, Callback cb) {
     TPU_CHECK_GE(delay, 0.0);
-    ScheduleAt(now_ + delay, std::move(cb));
+    return ScheduleAt(now_ + delay, std::move(cb));
   }
 
-  // Schedules `cb` at an absolute simulated time >= now().
-  void ScheduleAt(SimTime when, Callback cb) {
+  // Schedules `cb` at an absolute simulated time >= now(). Returns the
+  // event's seq.
+  std::uint64_t ScheduleAt(SimTime when, Callback cb) {
     TPU_CHECK_GE(when, now_);
     if (cb.storage() == EventCallback::Storage::kInline) {
       ++callbacks_inline_;
     } else {
       ++callbacks_pooled_;
     }
-    queue_.Push(Event{when, next_seq_++, std::move(cb)});
+    const std::uint64_t seq = next_seq_++;
+    queue_.Push(Event{when, seq, std::move(cb)});
     ++events_scheduled_;
     if (queue_.size() > peak_queue_depth_) peak_queue_depth_ = queue_.size();
+    if (EventObserver* observer = CurrentEventObserver()) {
+      observer->OnSchedule(seq, current_seq_, now_, when);
+    }
+    return seq;
   }
 
   // Runs until the event queue drains. Returns the final clock value.
@@ -118,12 +126,23 @@ class Simulator {
     TPU_CHECK_GE(ev.when, now_);
     now_ = ev.when;
     ++events_processed_;
-    ev.cb();
+    if (EventObserver* observer = CurrentEventObserver()) {
+      // Events scheduled by ev.cb() are causally ev's children; current_seq_
+      // only matters (and is only maintained) while an observer is installed,
+      // so the disabled-path cost stays one load and branch.
+      current_seq_ = static_cast<std::int64_t>(ev.seq);
+      observer->OnFire(ev.seq, ev.when);
+      ev.cb();
+      current_seq_ = EventObserver::kNoEvent;
+    } else {
+      ev.cb();
+    }
   }
 
   CalendarQueue<Event> queue_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::int64_t current_seq_ = EventObserver::kNoEvent;
   std::uint64_t events_processed_ = 0;
   std::uint64_t events_scheduled_ = 0;
   std::size_t peak_queue_depth_ = 0;
@@ -174,20 +193,31 @@ class FifoResource {
 
 // Join-counter: invokes `on_all_done` once Notify() has been called
 // `expected` times. Used to express barriers between collective phases.
+// When an EventObserver is installed the barrier registers itself as a join,
+// so slack analysis can see which input arrived last.
 class Barrier {
  public:
   Barrier(int expected, Simulator::Callback on_all_done)
       : remaining_(expected), on_all_done_(std::move(on_all_done)) {
     TPU_CHECK_GT(expected, 0);
+    if (EventObserver* observer = CurrentEventObserver()) {
+      join_ = observer->OnJoinOpen(expected);
+    }
   }
 
   void Notify() {
     TPU_CHECK_GT(remaining_, 0);
+    if (join_ >= 0) {
+      if (EventObserver* observer = CurrentEventObserver()) {
+        observer->OnJoinNotify(join_);
+      }
+    }
     if (--remaining_ == 0) on_all_done_();
   }
 
  private:
   int remaining_;
+  int join_ = -1;
   Simulator::Callback on_all_done_;
 };
 

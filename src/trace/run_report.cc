@@ -1,0 +1,209 @@
+#include "trace/run_report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tpu::trace {
+namespace {
+
+// Seconds with enough digits to round-trip observable differences while
+// staying locale-independent and stable across identical runs.
+void AppendSeconds(std::string* out, SimTime seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", seconds);
+  *out += buf;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  AppendEscaped(out, s);
+  out->push_back('"');
+}
+
+const char* SegmentKindName(PathSegment::Kind kind) {
+  switch (kind) {
+    case PathSegment::Kind::kLocal:
+      return "local";
+    case PathSegment::Kind::kOverhead:
+      return "overhead";
+    case PathSegment::Kind::kQueue:
+      return "queue";
+    case PathSegment::Kind::kSerialize:
+      return "serialize";
+    case PathSegment::Kind::kLatency:
+      return "latency";
+  }
+  return "segment";
+}
+
+void AppendCriticalPath(std::string* json, const CriticalPathReport& cp) {
+  *json += "{\"start\":";
+  AppendSeconds(json, cp.start);
+  *json += ",\"makespan\":";
+  AppendSeconds(json, cp.makespan);
+  *json += ",\"path_nodes\":" + std::to_string(cp.path_nodes);
+  *json += ",\"total_nodes\":" + std::to_string(cp.total_nodes);
+  *json += ",\"local_seconds\":";
+  AppendSeconds(json, cp.local_seconds);
+  *json += ",\"comm_seconds\":";
+  AppendSeconds(json, cp.comm_seconds);
+
+  *json += ",\"segments\":[";
+  for (std::size_t i = 0; i < cp.segments.size(); ++i) {
+    const PathSegment& s = cp.segments[i];
+    if (i > 0) *json += ",";
+    *json += "{\"kind\":";
+    AppendString(json, SegmentKindName(s.kind));
+    *json += ",\"start\":";
+    AppendSeconds(json, s.start);
+    *json += ",\"end\":";
+    AppendSeconds(json, s.end);
+    if (s.link >= 0) {
+      *json += ",\"link\":" + std::to_string(s.link);
+      *json += ",\"pod\":" + std::to_string(s.pod);
+      *json += ",\"type\":";
+      AppendString(json, s.link_type);
+    }
+    if (!s.phase.empty()) {
+      *json += ",\"phase\":";
+      AppendString(json, s.phase);
+    }
+    *json += "}";
+  }
+  *json += "]";
+
+  *json += ",\"links\":[";
+  for (std::size_t i = 0; i < cp.links.size(); ++i) {
+    const LinkContribution& c = cp.links[i];
+    if (i > 0) *json += ",";
+    *json += "{\"link\":" + std::to_string(c.link);
+    *json += ",\"pod\":" + std::to_string(c.pod);
+    *json += ",\"type\":";
+    AppendString(json, c.link_type);
+    *json += ",\"queue\":";
+    AppendSeconds(json, c.queue);
+    *json += ",\"serialize\":";
+    AppendSeconds(json, c.serialize);
+    *json += ",\"latency\":";
+    AppendSeconds(json, c.latency);
+    *json += ",\"total\":";
+    AppendSeconds(json, c.total());
+    *json += "}";
+  }
+  *json += "]";
+
+  *json += ",\"phases\":[";
+  for (std::size_t i = 0; i < cp.phases.size(); ++i) {
+    const PhaseContribution& c = cp.phases[i];
+    if (i > 0) *json += ",";
+    *json += "{\"phase\":";
+    AppendString(json, c.phase);
+    *json += ",\"local\":";
+    AppendSeconds(json, c.local);
+    *json += ",\"comm\":";
+    AppendSeconds(json, c.comm);
+    *json += "}";
+  }
+  *json += "]";
+
+  *json += ",\"slack\":[";
+  for (std::size_t i = 0; i < cp.slack.size(); ++i) {
+    const LinkSlack& s = cp.slack[i];
+    if (i > 0) *json += ",";
+    *json += "{\"link\":" + std::to_string(s.link);
+    *json += ",\"type\":";
+    AppendString(json, s.link_type);
+    *json += ",\"slack\":";
+    AppendSeconds(json, s.slack);
+    *json += ",\"on_path_seconds\":";
+    AppendSeconds(json, s.on_path_seconds);
+    *json += ",\"max_degrade\":";
+    AppendSeconds(json, s.max_degrade);
+    *json += "}";
+  }
+  *json += "]";
+
+  *json += ",\"what_if\":[";
+  for (std::size_t i = 0; i < cp.what_if.size(); ++i) {
+    const WhatIfHeal& w = cp.what_if[i];
+    if (i > 0) *json += ",";
+    *json += "{\"link\":" + std::to_string(w.link);
+    *json += ",\"type\":";
+    AppendString(json, w.link_type);
+    *json += ",\"degrade\":";
+    AppendSeconds(json, w.degrade);
+    *json += ",\"on_path_seconds\":";
+    AppendSeconds(json, w.on_path_seconds);
+    *json += ",\"predicted_savings\":";
+    AppendSeconds(json, w.predicted_savings);
+    *json += ",\"predicted_makespan\":";
+    AppendSeconds(json, w.predicted_makespan);
+    *json += "}";
+  }
+  *json += "]}";
+}
+
+}  // namespace
+
+void RunReport::WriteJson(std::ostream& out) const {
+  std::string json;
+  json.reserve(4096);
+  json += "{\"label\":";
+  AppendString(&json, label);
+  json += ",\"step_seconds\":";
+  AppendSeconds(&json, step_seconds);
+  json += ",\"compute_seconds\":";
+  AppendSeconds(&json, compute_seconds);
+  json += ",\"comm_seconds\":";
+  AppendSeconds(&json, comm_seconds);
+  json += ",\"phases\":[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i > 0) json += ",";
+    json += "{\"name\":";
+    AppendString(&json, phases[i].name);
+    json += ",\"seconds\":";
+    AppendSeconds(&json, phases[i].seconds);
+    json += "}";
+  }
+  json += "]";
+  if (planned) {
+    json += ",\"plan\":{\"name\":";
+    AppendString(&json, plan_name);
+    json += ",\"predicted_seconds\":";
+    AppendSeconds(&json, plan_predicted_seconds);
+    json += ",\"estimated_seconds\":";
+    AppendSeconds(&json, plan_estimated_seconds);
+    json += "}";
+  }
+  if (has_critical_path) {
+    json += ",\"critical_path\":";
+    AppendCriticalPath(&json, critical_path);
+  }
+  json += ",\"metrics\":";
+  json += metrics_json.empty() ? "{}" : metrics_json;
+  json += "}\n";
+  out << json;
+}
+
+std::string RunReport::ToJson() const {
+  std::ostringstream out;
+  WriteJson(out);
+  return out.str();
+}
+
+bool RunReport::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  WriteJson(out);
+  return out.good();
+}
+
+}  // namespace tpu::trace

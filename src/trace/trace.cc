@@ -122,6 +122,21 @@ void TraceRecorder::AsyncEnd(TrackId track, std::uint64_t id, SimTime ts) {
   events_.push_back(Event{'e', track, id, Stamp(ts), 0, std::string()});
 }
 
+void TraceRecorder::FlowStart(TrackId track, std::string name,
+                              std::uint64_t id, SimTime ts) {
+  events_.push_back(Event{'s', track, id, Stamp(ts), 0, std::move(name)});
+}
+
+void TraceRecorder::FlowStep(TrackId track, std::string name, std::uint64_t id,
+                             SimTime ts) {
+  events_.push_back(Event{'t', track, id, Stamp(ts), 0, std::move(name)});
+}
+
+void TraceRecorder::FlowEnd(TrackId track, std::string name, std::uint64_t id,
+                            SimTime ts) {
+  events_.push_back(Event{'f', track, id, Stamp(ts), 0, std::move(name)});
+}
+
 void TraceRecorder::CounterDelta(CounterId counter, SimTime ts, double delta) {
   counter_events_.push_back(CounterEvent{counter, Stamp(ts), delta, false});
 }
@@ -197,6 +212,12 @@ void TraceRecorder::WriteJson(std::ostream& out) const {
     if (event.ph == 'b' || event.ph == 'e') {
       json += ",\"cat\":\"ring\",\"id\":";
       json += std::to_string(event.id);
+    }
+    if (event.ph == 's' || event.ph == 't' || event.ph == 'f') {
+      json += ",\"cat\":\"critpath\",\"id\":";
+      json += std::to_string(event.id);
+      // Bind the terminating arrow to the enclosing slice, not the next one.
+      if (event.ph == 'f') json += ",\"bp\":\"e\"";
     }
     if (event.ph == 'i') json += ",\"s\":\"t\"";
     if (!event.name.empty() || event.ph == 'B' || event.ph == 'X' ||

@@ -61,6 +61,17 @@ class TraceRecorder {
                   SimTime ts);
   void AsyncEnd(TrackId track, std::uint64_t id, SimTime ts);
 
+  // Flow events ("s"/"t"/"f" with an id): Perfetto draws arrows from each
+  // flow point to the next, which is how the critical path is stitched
+  // through the timeline. Each point must fall inside a slice on its track
+  // (the arrow binds to the enclosing slice); name and id must match across
+  // one flow's points.
+  std::uint64_t NextFlowId() { return next_flow_id_++; }
+  void FlowStart(TrackId track, std::string name, std::uint64_t id,
+                 SimTime ts);
+  void FlowStep(TrackId track, std::string name, std::uint64_t id, SimTime ts);
+  void FlowEnd(TrackId track, std::string name, std::uint64_t id, SimTime ts);
+
   void CounterDelta(CounterId counter, SimTime ts, double delta);
   void CounterValue(CounterId counter, SimTime ts, double value);
 
@@ -99,7 +110,7 @@ class TraceRecorder {
     std::string name;
   };
   struct Event {
-    char ph = 'X';       // B / E / X / i / b / e
+    char ph = 'X';       // B / E / X / i / b / e / s / t / f
     TrackId track = 0;
     std::uint64_t id = 0;  // async span id
     SimTime ts = 0;
@@ -123,6 +134,7 @@ class TraceRecorder {
   std::vector<CounterEvent> counter_events_;
   std::vector<int> open_depth_;  // per track, B minus E
   std::uint64_t next_async_id_ = 1;
+  std::uint64_t next_flow_id_ = 1;
   SimTime time_offset_ = 0;
   SimTime last_timestamp_ = 0;
 };

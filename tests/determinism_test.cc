@@ -6,11 +6,16 @@
 
 #include <sstream>
 
+#include "collectives/all_reduce.h"
 #include "core/multipod.h"
 #include "core/sweep.h"
+#include "models/model_specs.h"
 #include "network/network.h"
 #include "plan/planner.h"
+#include "sim/simulator.h"
 #include "topology/topology.h"
+#include "trace/critical_path.h"
+#include "trace/run_report.h"
 
 namespace tpu {
 namespace {
@@ -69,6 +74,63 @@ TEST(Determinism, PlannerSearchIsThreadCountInvariant) {
   EXPECT_EQ(serial.estimated_seconds, threaded.estimated_seconds);
   EXPECT_EQ(serial.candidates, threaded.candidates);
   EXPECT_EQ(serial.evaluated, threaded.evaluated);
+}
+
+TEST(Determinism, CausalTrackerOnOrOffLeavesCollectiveTimingBitIdentical) {
+  // Causal event tracking is pure observation: the instrumented schedule/fire
+  // path is one thread-local load and branch when disabled, and even when a
+  // tracker is installed no event, timestamp or ordering may change. Every
+  // comparison is exact.
+  auto run = [](bool tracked) {
+    const topo::MeshTopology topo(topo::TopologyConfig::Slice(16, 8, true));
+    sim::Simulator simulator;
+    net::Network network(&topo, {}, &simulator);
+    network.DegradeLink(topo.LinkBetween(topo.ChipAt({3, 2}),
+                                         topo.ChipAt({3, 3})),
+                        4.0);
+    trace::CriticalPathTracker tracker;
+    sim::ScopedEventObserver observe(
+        tracked ? static_cast<sim::EventObserver*>(&tracker)
+                : sim::CurrentEventObserver());
+    coll::GradientSummationConfig config;
+    config.elems = 1 << 18;
+    return coll::TwoDGradientSummation(network, config);
+  };
+  const auto off = run(false);
+  const auto on = run(true);
+  EXPECT_EQ(off.reduce_seconds, on.reduce_seconds);
+  EXPECT_EQ(off.update_seconds, on.update_seconds);
+  EXPECT_EQ(off.broadcast_seconds, on.broadcast_seconds);
+  EXPECT_EQ(off.phase_seconds.y_reduce_scatter,
+            on.phase_seconds.y_reduce_scatter);
+  EXPECT_EQ(off.phase_seconds.x_reduce_scatter,
+            on.phase_seconds.x_reduce_scatter);
+  EXPECT_EQ(off.phase_seconds.x_all_gather, on.phase_seconds.x_all_gather);
+  EXPECT_EQ(off.phase_seconds.y_all_gather, on.phase_seconds.y_all_gather);
+}
+
+TEST(Determinism, SimulateStepWithRunReportIsBitIdentical) {
+  // Requesting a RunReport installs the causal tracker around the step's
+  // collective; the step timing itself must not move by a single ULP.
+  const models::ModelSpec& spec =
+      models::GetModelSpec(models::Benchmark::kResNet50);
+  auto run = [&](trace::RunReport* report) {
+    core::MultipodSystem system(64);
+    return system.SimulateStep(spec, 64 * 64, 1, nullptr, nullptr, report);
+  };
+  const core::StepBreakdown plain = run(nullptr);
+  trace::RunReport report;
+  const core::StepBreakdown reported = run(&report);
+  EXPECT_EQ(plain.compute, reported.compute);
+  EXPECT_EQ(plain.allreduce, reported.allreduce);
+  EXPECT_EQ(plain.overlapped, reported.overlapped);
+  EXPECT_EQ(plain.weight_update, reported.weight_update);
+  EXPECT_EQ(plain.embedding_comm, reported.embedding_comm);
+  EXPECT_EQ(plain.step(), reported.step());
+  // Identical runs produce byte-identical report JSON.
+  trace::RunReport again;
+  run(&again);
+  EXPECT_EQ(report.ToJson(), again.ToJson());
 }
 
 TEST(Determinism, ParallelSweepCsvIsByteIdenticalToSerial) {

@@ -2,6 +2,7 @@
 
 #include "gpu/gpu_cluster.h"
 #include "models/model_specs.h"
+#include "trace/metrics.h"
 
 namespace tpu::gpu {
 namespace {
@@ -61,6 +62,48 @@ TEST(GpuEndToEnd, ScalingSaturates) {
   EXPECT_LT(at_1024, at_16);  // still faster in absolute terms
   // ...but far from linear: 64x the chips for << 64x the speedup.
   EXPECT_LT(at_16 / at_1024, 40.0);
+}
+
+TEST(GpuMetrics, StepEstimateRegistersGauges) {
+  const models::ModelSpec& dlrm =
+      models::GetModelSpec(models::Benchmark::kDlrm);
+  trace::MetricsRegistry registry;
+  trace::ScopedMetrics install(&registry);
+  const auto step = GpuStepTime(GpuSystemConfig::A100(), dlrm, 64, 65536);
+  EXPECT_EQ(registry.Gauge("gpu.A100.step_seconds").value, step.step());
+  EXPECT_EQ(registry.Gauge("gpu.A100.compute_seconds").value, step.compute);
+  EXPECT_EQ(registry.Gauge("gpu.A100.allreduce_seconds").value,
+            step.allreduce);
+  // DLRM carries embedding tables, so the all-to-all gauge must be present.
+  EXPECT_GT(registry.Gauge("gpu.A100.embedding_comm_seconds").value, 0.0);
+  EXPECT_EQ(registry.Counter("gpu.A100.step_estimates").value, 1);
+  // max_gpus is a peak gauge: a smaller follow-up run must not lower it.
+  GpuStepTime(GpuSystemConfig::A100(), dlrm, 16, 65536);
+  EXPECT_EQ(registry.Gauge("gpu.A100.max_gpus").value, 64.0);
+  EXPECT_EQ(registry.Counter("gpu.A100.step_estimates").value, 2);
+  // JSON dump names the system so A100 and V100 runs stay distinguishable.
+  GpuStepTime(GpuSystemConfig::V100(), dlrm, 64, 65536);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("gpu.A100.step_seconds"), std::string::npos);
+  EXPECT_NE(json.find("gpu.V100.step_seconds"), std::string::npos);
+}
+
+TEST(GpuMetrics, DisabledRegistryMeansNoInstrumentation) {
+  const models::ModelSpec& resnet =
+      models::GetModelSpec(models::Benchmark::kResNet50);
+  ASSERT_EQ(trace::CurrentMetrics(), nullptr);
+  const auto plain = GpuStepTime(GpuSystemConfig::A100(), resnet, 256, 16384);
+  trace::MetricsRegistry registry;
+  {
+    trace::ScopedMetrics install(&registry);
+    const auto observed =
+        GpuStepTime(GpuSystemConfig::A100(), resnet, 256, 16384);
+    // Observability must not perturb the estimate: bit-identical numbers.
+    EXPECT_EQ(observed.compute, plain.compute);
+    EXPECT_EQ(observed.allreduce, plain.allreduce);
+    EXPECT_EQ(observed.embedding_comm, plain.embedding_comm);
+  }
+  EXPECT_FALSE(registry.empty());
 }
 
 TEST(PublishedResults, AllBenchmarksHaveEntries) {

@@ -3,11 +3,14 @@
 // cases, simulator counters, and the step profiler.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "collectives/all_reduce.h"
+#include "core/sweep.h"
 #include "fault/fault_injector.h"
 #include "network/network.h"
 #include "sim/simulator.h"
@@ -239,6 +242,71 @@ TEST(MetricHistogram, PercentilesApproximateUniformSamples) {
   EXPECT_DOUBLE_EQ(histogram.min(), 1);
 }
 
+TEST(MetricHistogram, BucketBoundaryValuesClampToExactMinAndMax) {
+  // Samples sitting exactly on geometric bucket edges (powers of two are
+  // powers of the 2^(1/8) ratio) must never let interpolation escape the
+  // exact [min, max] envelope.
+  trace::MetricHistogram histogram;
+  for (const double v : {1.0, 2.0, 4.0, 1024.0}) histogram.Record(v);
+  EXPECT_DOUBLE_EQ(histogram.min(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 1024.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(1.0), 1024.0);
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    EXPECT_GE(histogram.Percentile(p), 1.0) << "p=" << p;
+    EXPECT_LE(histogram.Percentile(p), 1024.0) << "p=" << p;
+  }
+  // Identical samples collapse the envelope: every percentile is exact even
+  // though the containing bucket is ~9% wide.
+  trace::MetricHistogram repeated;
+  for (int i = 0; i < 17; ++i) repeated.Record(2.0);
+  for (const double p : {0.0, 0.3, 0.5, 0.97, 1.0}) {
+    EXPECT_DOUBLE_EQ(repeated.Percentile(p), 2.0) << "p=" << p;
+  }
+}
+
+TEST(MetricsRegistry, RegistriesAreThreadLocal) {
+  trace::MetricsRegistry registry;
+  trace::ScopedMetrics install(&registry);
+  ASSERT_EQ(trace::CurrentMetrics(), &registry);
+  // The installed registry must be invisible from a worker thread: the
+  // globals are thread_local precisely so concurrent sweeps cannot race on
+  // one registry.
+  trace::MetricsRegistry* seen_in_worker = &registry;
+  std::thread worker([&] { seen_in_worker = trace::CurrentMetrics(); });
+  worker.join();
+  EXPECT_EQ(seen_in_worker, nullptr);
+  EXPECT_EQ(trace::CurrentMetrics(), &registry);
+}
+
+TEST(MetricsRegistry, MeteredSweepMatchesPlainSerialSweepByteForByte) {
+  // With a registry installed RunScalingSweep falls back to serial (worker
+  // threads would see a null thread-local registry and simulate silently).
+  // The observable sweep output must be byte-identical to an unmetered run
+  // at any requested thread count.
+  const auto run = [](int threads) {
+    core::SweepConfig config;
+    config.benchmark = models::Benchmark::kResNet50;
+    config.chip_counts = {16, 32, 64};
+    config.batch_for = [](int chips) { return 256LL * chips; };
+    config.threads = threads;
+    std::ostringstream csv;
+    core::WriteSweepCsv(csv, core::RunScalingSweep(config));
+    return csv.str();
+  };
+  const std::string plain = run(1);
+  trace::MetricsRegistry registry;
+  std::string metered;
+  {
+    trace::ScopedMetrics install(&registry);
+    metered = run(4);  // forced serial by the installed registry
+  }
+  EXPECT_EQ(metered, plain);
+  EXPECT_FALSE(registry.empty());
+  // And a genuinely parallel unmetered run agrees too.
+  EXPECT_EQ(run(4), plain);
+}
+
 TEST(MetricsRegistry, DumpsAreDeterministicAndNamed) {
   trace::MetricsRegistry metrics;
   metrics.Counter("net.messages").Add(7);
@@ -330,6 +398,83 @@ TEST(StepProfiler, PhaseNamesCoverTheTaxonomy) {
   for (int i = 0; i < trace::kNumStepPhases; ++i) {
     EXPECT_STRNE(trace::StepPhaseName(static_cast<trace::StepPhase>(i)), "");
   }
+}
+
+TEST(StepProfiler, EmptyRunReportIsWellFormed) {
+  // A profiler that never saw a step must report clean zeros and write a
+  // table without dividing by the zero step count.
+  trace::StepProfiler profiler;
+  EXPECT_EQ(profiler.steps(), 0);
+  EXPECT_DOUBLE_EQ(profiler.TotalStep(), 0.0);
+  for (int i = 0; i < trace::kNumStepPhases; ++i) {
+    EXPECT_DOUBLE_EQ(profiler.Total(static_cast<trace::StepPhase>(i)), 0.0);
+  }
+  std::ostringstream table;
+  profiler.WriteTable(table);
+  EXPECT_EQ(table.str().find("nan"), std::string::npos);
+  EXPECT_EQ(table.str().find("inf"), std::string::npos);
+}
+
+TEST(StepProfiler, BeginWithoutRecordYieldsAnAllZeroStep) {
+  trace::StepProfiler profiler;
+  profiler.BeginStep("idle");
+  profiler.EndStep();
+  EXPECT_EQ(profiler.steps(), 1);
+  EXPECT_DOUBLE_EQ(profiler.TotalStep(), 0.0);
+  std::ostringstream table;
+  profiler.WriteTable(table);
+  EXPECT_EQ(table.str().find("nan"), std::string::npos);
+}
+
+// --- Committed quickstart trace ------------------------------------------
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(QuickstartTrace, CommittedTraceIsSchemaValidWithWellFormedFlows) {
+  // docs/quickstart_trace.json is the committed output of
+  // `quickstart --trace=...`; regenerate it whenever the trace schema or the
+  // mini-run changes. This test keeps the committed artifact honest.
+  const std::string path =
+      std::string(TPU_REPO_ROOT) + "/docs/quickstart_trace.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  // Chrome-trace schema basics.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_GT(CountOccurrences(json, "\"ph\":\"X\""), 0u);
+  // Balanced braces/brackets is a cheap proxy for well-formed JSON (the
+  // recorder never emits strings containing braces).
+  EXPECT_EQ(CountOccurrences(json, "{"), CountOccurrences(json, "}"));
+  EXPECT_EQ(CountOccurrences(json, "["), CountOccurrences(json, "]"));
+
+  // Flow-event well-formedness: the critical-path chain is one flow — a
+  // single start, a single end carrying the enclosing-slice binding point,
+  // intermediate steps, and every flow event tagged with the critpath
+  // category and an id.
+  const std::size_t starts = CountOccurrences(json, "\"ph\":\"s\"");
+  const std::size_t steps = CountOccurrences(json, "\"ph\":\"t\"");
+  const std::size_t ends = CountOccurrences(json, "\"ph\":\"f\"");
+  EXPECT_EQ(starts, 1u);
+  EXPECT_EQ(ends, 1u);
+  EXPECT_GT(steps, 0u);
+  EXPECT_EQ(CountOccurrences(json, "\"bp\":\"e\""), ends);
+  EXPECT_EQ(CountOccurrences(json, "\"cat\":\"critpath\""),
+            starts + steps + ends);
+  // The critical-path track with its attributed segments rides along.
+  EXPECT_NE(json.find("critical-path"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Diff a bench JSON result against its committed baseline.
+
+Two formats:
+
+  gbench   google-benchmark JSON (bench_simulator --smoke
+           --benchmark_out=... --benchmark_out_format=json).
+           Gate: any drift in the simulated counters (sim_ms, sim_events)
+           fails immediately — those are bit-reproducible and machine
+           independent. Wall clock (real_time) fails only past
+           --time-threshold (default 15% regression).
+
+  planner  bench_planner --smoke --json=... output. Every value in the file
+           is simulated, so the gate is deep equality: any difference fails.
+
+Exit status: 0 clean, 1 regression/drift, 2 usage or unreadable input.
+
+Usage:
+  tools/bench_compare.py BASELINE CURRENT --format=gbench [--time-threshold=0.15]
+  tools/bench_compare.py BASELINE CURRENT --format=planner
+"""
+
+import argparse
+import json
+import sys
+
+SIM_COUNTERS = ("sim_ms", "sim_events")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def index_gbench(doc):
+    """name -> benchmark entry, skipping aggregate rows (mean/median/stddev)."""
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        out[entry["name"]] = entry
+    return out
+
+
+def compare_gbench(baseline, current, time_threshold):
+    base = index_gbench(baseline)
+    cur = index_gbench(current)
+    failures = []
+    compared_counters = 0
+
+    for name, base_entry in sorted(base.items()):
+        cur_entry = cur.get(name)
+        if cur_entry is None:
+            failures.append(f"{name}: present in baseline, missing from current run")
+            continue
+
+        # Bit-exactness gate: simulated counters must not move at all. Any
+        # drift means simulated behaviour changed, not just machine speed.
+        for counter in SIM_COUNTERS:
+            if counter not in base_entry:
+                continue
+            if counter not in cur_entry:
+                failures.append(f"{name}: counter {counter} disappeared")
+                continue
+            compared_counters += 1
+            b, c = base_entry[counter], cur_entry[counter]
+            if b != c:
+                failures.append(
+                    f"{name}: {counter} drifted {b!r} -> {c!r} "
+                    "(simulated values must be bit-identical)"
+                )
+
+        # Wall-clock regression gate.
+        b_time, c_time = base_entry.get("real_time"), cur_entry.get("real_time")
+        if b_time and c_time and b_time > 0:
+            ratio = c_time / b_time
+            status = "ok"
+            if ratio > 1.0 + time_threshold:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: real_time {b_time:.3f} -> {c_time:.3f} "
+                    f"{base_entry.get('time_unit', 'ns')} "
+                    f"({ratio:.2f}x > {1.0 + time_threshold:.2f}x allowed)"
+                )
+            print(f"  {name}: real_time {ratio:.2f}x [{status}]")
+
+    if compared_counters == 0:
+        failures.append(
+            "no sim_ms/sim_events counters compared - wrong filter or empty baseline?"
+        )
+    print(f"  ({compared_counters} simulated counters compared bit-exactly)")
+    return failures
+
+
+def diff_json(base, cur, path, failures):
+    """Deep equality with a readable path to the first few differences."""
+    if type(base) is not type(cur):
+        failures.append(f"{path}: type {type(base).__name__} -> {type(cur).__name__}")
+    elif isinstance(base, dict):
+        for key in sorted(set(base) | set(cur)):
+            if key not in base:
+                failures.append(f"{path}.{key}: not in baseline")
+            elif key not in cur:
+                failures.append(f"{path}.{key}: missing from current")
+            else:
+                diff_json(base[key], cur[key], f"{path}.{key}", failures)
+    elif isinstance(base, list):
+        if len(base) != len(cur):
+            failures.append(f"{path}: length {len(base)} -> {len(cur)}")
+        for i, (b, c) in enumerate(zip(base, cur)):
+            diff_json(b, c, f"{path}[{i}]", failures)
+    elif base != cur:
+        failures.append(f"{path}: {base!r} -> {cur!r}")
+
+
+def compare_planner(baseline, current):
+    failures = []
+    diff_json(baseline, current, "$", failures)
+    if not failures:
+        n = len(baseline.get("healthy", [])) + len(baseline.get("chunked", []))
+        print(f"  planner results deep-equal to baseline ({n} search rows)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--format", choices=("gbench", "planner"), required=True)
+    parser.add_argument(
+        "--time-threshold",
+        type=float,
+        default=0.15,
+        help="allowed fractional real_time regression (gbench only)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    print(f"comparing {args.current} against baseline {args.baseline} "
+          f"[{args.format}]")
+    if args.format == "gbench":
+        failures = compare_gbench(baseline, current, args.time_threshold)
+    else:
+        failures = compare_planner(baseline, current)
+
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench comparison clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
