@@ -2,15 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "collectives/all_reduce.h"
 #include "common/check.h"
 #include "common/math_util.h"
 #include "metrics/distributed_eval.h"
 #include "optim/weight_update_sharding.h"
+#include "plan/cost.h"
 #include "plan/executor.h"
+#include "plan/generator.h"
 #include "plan/planner.h"
+#include "plan/schedule.h"
 #include "models/blocks.h"
+#include "recover/controller.h"
+#include "sim/event_observer.h"
 #include "sim/simulator.h"
 #include "spmd/spmd.h"
 #include "trace/critical_path.h"
@@ -35,6 +42,10 @@ topo::TopologyConfig TopologyForChips(int num_chips) {
 
 MultipodSystem::MultipodSystem(int num_chips, SystemOptions options)
     : topology_(TopologyForChips(num_chips)), options_(options) {}
+
+MultipodSystem::MultipodSystem(const topo::TopologyConfig& config,
+                               SystemOptions options)
+    : topology_(config), options_(options) {}
 
 SystemOptions OptionsForGeneration(TpuGeneration generation) {
   SystemOptions options;  // defaults are TPU-v3
@@ -484,6 +495,163 @@ FaultTolerantResult MultipodSystem::SimulateTrainingUnderFailures(
   result.restart_seconds =
       result.checkpoint.restore_seconds +
       frameworks::EstimateInitTime(framework, benchmark, num_chips()).total();
+
+  if (fault_options.recovery.enabled) {
+    // Event-driven path: replace the analytic expected-makespan formula with
+    // a simulated fault -> decision -> downtime -> throughput timeline.
+    const SimTime healthy_step = result.failure_free.step.step();
+
+    // Checkpoint cadence: explicit, else the analytic optimum when a fatal
+    // class is enabled, else none (scripted transient-only scenarios).
+    SimTime tau = fault_options.checkpoint_interval;
+    if (tau <= 0 && result.system_mtbf > 0) {
+      fault::GoodputConfig goodput;
+      goodput.system_mtbf = result.system_mtbf;
+      goodput.checkpoint_write = result.checkpoint.write_seconds;
+      goodput.detection_latency = result.detection_latency;
+      goodput.restart_seconds = result.restart_seconds;
+      const SimTime lo = std::max(healthy_step, Millis(1));
+      const SimTime hi = std::max(base, 2 * lo);
+      tau = fault::OptimalCheckpointInterval(base, goodput, lo, hi);
+    }
+    result.checkpoint_interval = std::max<SimTime>(tau, 0);
+
+    // The pricing oracles. All three run throwaway estimates/simulations, so
+    // they silence the thread-local trace/metrics/observer slots; the
+    // recovered timeline stays bit-identical with or without a recorder.
+    const std::unique_ptr<optim::Optimizer> optimizer = OptimizerFor(benchmark);
+    const int chips_per_group = ChipsPerGroup(model_parallel_cores);
+    plan::PlanRequest request;
+    request.elems =
+        std::max<std::int64_t>(1, spec.parameters / chips_per_group);
+    request.model_parallel_stride = chips_per_group;
+    request.allow_bfloat16 = options_.bfloat16_gradients;
+    request.allow_bidirectional = options_.bidirectional_rings;
+    request.search_threads = fault_options.recovery.search_threads;
+    const plan::CollectivePlan paper = plan::PaperPlan(request);
+    const plan::LoweredPlan lowered =
+        plan::LowerPlan(topology_, paper, request.elems);
+    const SimTime healthy_allreduce = result.failure_free.step.allreduce;
+
+    recover::StepPricer pricer;
+    pricer.healthy_step = healthy_step;
+    // Closed-form comm estimate of the *current* schedule under the link
+    // snapshot: a failed link on a used route prices at the stall constant
+    // and trips any detection deadline.
+    SimTime comm_healthy = 0;
+    {
+      trace::ScopedTrace no_trace(nullptr);
+      trace::ScopedMetrics no_metrics(nullptr);
+      sim::ScopedEventObserver no_observer(nullptr);
+      comm_healthy =
+          plan::EstimatePlanSeconds(topology_, options_.network, {}, lowered);
+    }
+    pricer.degraded_step = [this, healthy_step, healthy_allreduce, lowered,
+                            comm_healthy](const plan::LinkHealthSet& health) {
+      trace::ScopedTrace no_trace(nullptr);
+      trace::ScopedMetrics no_metrics(nullptr);
+      sim::ScopedEventObserver no_observer(nullptr);
+      const SimTime comm =
+          plan::EstimatePlanSeconds(topology_, options_.network, health,
+                                    lowered);
+      if (comm_healthy <= 0) return healthy_step;
+      return healthy_step + healthy_allreduce * (comm / comm_healthy - 1.0);
+    };
+    // Planner search under the snapshot vs under full health: the searched
+    // schedules' predicted ratio scales the healthy all-reduce share.
+    pricer.replanned_step = [this, healthy_step, healthy_allreduce,
+                             request](const plan::LinkHealthSet& health) {
+      trace::ScopedTrace no_trace(nullptr);
+      trace::ScopedMetrics no_metrics(nullptr);
+      sim::ScopedEventObserver no_observer(nullptr);
+      const SimTime planned_healthy =
+          plan::FindBestPlan(topology_, options_.network, request, {},
+                             &plan_cache_)
+              .predicted_seconds;
+      const SimTime planned =
+          plan::FindBestPlan(topology_, options_.network, request, health,
+                             &plan_cache_)
+              .predicted_seconds;
+      if (planned_healthy <= 0) return healthy_step;
+      const double ratio = std::max(planned / planned_healthy, 1.0);
+      return healthy_step + healthy_allreduce * (ratio - 1.0);
+    };
+    // Same job carved down to a healthy sub-mesh: a throwaway system on the
+    // sliced shape re-prices the full step (memoized per shape — the carve
+    // search re-asks the same rectangles).
+    auto shrunk_memo =
+        std::make_shared<std::map<std::pair<int, int>, SimTime>>();
+    pricer.shrunk_step = [this, &spec, global_batch, model_parallel_cores,
+                          &optimizer, shrunk_memo](
+                             const topo::SubmeshRect& rect) {
+      const std::pair<int, int> key{rect.size_x, rect.size_y};
+      const auto it = shrunk_memo->find(key);
+      if (it != shrunk_memo->end()) return it->second;
+      trace::ScopedTrace no_trace(nullptr);
+      trace::ScopedMetrics no_metrics(nullptr);
+      sim::ScopedEventObserver no_observer(nullptr);
+      // The carve keeps Y wrap links only when it spans the full Y extent.
+      const bool wrap_y =
+          topology_.config().wrap_y && rect.size_y == topology_.size_y();
+      MultipodSystem shrunk(
+          topo::TopologyConfig::Slice(rect.size_x, rect.size_y, wrap_y),
+          options_);
+      const SimTime step =
+          shrunk
+              .SimulateStep(spec, global_batch, model_parallel_cores,
+                            optimizer.get())
+              .step();
+      (*shrunk_memo)[key] = step;
+      return step;
+    };
+
+    recover::ControllerConfig controller_config;
+    controller_config.policy = fault_options.recovery;
+    controller_config.costs.checkpoint_write = result.checkpoint.write_seconds;
+    controller_config.costs.restore_seconds =
+        result.checkpoint.restore_seconds;
+    controller_config.costs.restart_seconds = result.restart_seconds;
+    controller_config.pricer = pricer;
+    controller_config.total_work = base;
+    controller_config.detection_deadline = result.detection_latency;
+    controller_config.checkpoint_interval = result.checkpoint_interval;
+    controller_config.faults = fault_options.faults;
+    controller_config.x_granularity = chips_per_group;
+
+    // Run until the work completes; a pathological schedule (back-to-back
+    // permanent faults) may outlive the first horizon, so double and retry
+    // on truncation. Each attempt replays the same seeded schedule prefix,
+    // so the final completed timeline is deterministic.
+    recover::RecoveryTimeline timeline;
+    SimTime horizon = std::max<SimTime>(2 * base, Seconds(1));
+    for (int round = 0; round < 6; ++round) {
+      sim::Simulator simulator;
+      net::Network network(&topology_, options_.network, &simulator);
+      fault::FaultInjector injector(&network, fault_options.faults);
+      recover::RecoveryController controller(&network, &injector,
+                                             controller_config);
+      if (!fault_options.scripted_faults.empty()) {
+        injector.ArmScripted(fault_options.scripted_faults);
+      } else {
+        injector.Arm(horizon);
+      }
+      timeline = controller.Run(horizon);
+      if (timeline.completed) break;
+      horizon *= 2;
+    }
+
+    result.recovered = true;
+    result.expected_seconds = timeline.makespan;
+    result.expected_failures = timeline.faults_applied;
+    // Same semantic as the analytic model: everything past the failure-free
+    // makespan — checkpoint writes included — is badput.
+    result.goodput = timeline.makespan > 0 ? base / timeline.makespan : 1.0;
+    if (trace::MetricsRegistry* metrics = trace::CurrentMetrics()) {
+      timeline.ExportMetrics(*metrics);
+    }
+    result.timeline = std::move(timeline);
+    return result;
+  }
 
   if (result.system_mtbf <= 0) {
     // No fatal fault class enabled: exact degeneration to the existing

@@ -26,6 +26,7 @@
 #include "network/network.h"
 #include "optim/optimizer.h"
 #include "plan/cache.h"
+#include "recover/recovery.h"
 #include "topology/topology.h"
 #include "trace/run_report.h"
 #include "trace/step_profiler.h"
@@ -109,6 +110,15 @@ struct FaultToleranceOptions {
   // Useful seconds between checkpoints; <= 0 picks the numeric optimum of
   // the expected-makespan curve.
   SimTime checkpoint_interval = 0;
+  // Event-driven recovery orchestration (recover/controller.h). Disabled
+  // (the default) keeps the analytic Young/Daly expected-makespan model
+  // bit-for-bit; enabled replaces it with a simulated fault -> decision ->
+  // downtime -> degraded-throughput timeline.
+  recover::RecoveryPolicy recovery;
+  // When non-empty (and recovery is enabled), this hand-written schedule is
+  // armed instead of the MTBF-generated one — canonical scenarios for tests
+  // and benches. Ignored by the analytic path.
+  std::vector<fault::FaultEvent> scripted_faults;
 };
 
 struct FaultTolerantResult {
@@ -121,11 +131,22 @@ struct FaultTolerantResult {
   SimTime expected_seconds = 0;    // expected makespan under failures
   double expected_failures = 0;
   double goodput = 1.0;            // failure-free / expected
+  // Filled when FaultToleranceOptions::recovery.enabled: the event-driven
+  // recovery timeline the expected_seconds/goodput above were read from.
+  bool recovered = false;
+  recover::RecoveryTimeline timeline;
 };
 
 class MultipodSystem {
  public:
   explicit MultipodSystem(int num_chips, SystemOptions options = {});
+
+  // Builds the system on an explicit mesh shape instead of the paper's
+  // canonical slice for the chip count — degraded-width scenarios (e.g. the
+  // 16x8 recovery suite, or a carved sub-mesh after an elastic shrink) need
+  // shapes TopologyForChips would never pick.
+  explicit MultipodSystem(const topo::TopologyConfig& config,
+                          SystemOptions options = {});
 
   int num_chips() const { return topology_.num_chips(); }
   int num_cores() const { return topology_.num_cores(); }

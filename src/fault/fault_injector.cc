@@ -156,20 +156,48 @@ std::vector<topo::LinkId> FaultInjector::LinksOfHost(topo::HostId host) const {
   return links;
 }
 
+void FaultInjector::SetActiveGauge(FaultKind kind) const {
+  if (trace::MetricsRegistry* metrics = trace::CurrentMetrics()) {
+    metrics->Gauge(std::string("fault.active.") + FaultKindName(kind))
+        .Set(active_[static_cast<int>(kind)]);
+  }
+}
+
+void FaultInjector::ScheduleHeal(const FaultEvent& event,
+                                 std::vector<topo::LinkId> links) {
+  if (event.duration <= 0) return;
+  // The heal releases exactly what the fault applied — depth-counted fails
+  // and per-source degradations — so overlapping faults on the same link
+  // compose in any order: the link stays broken until every live fault
+  // touching it has healed, and a heal can never resurrect a link a later
+  // (or permanent) fault still holds down.
+  network_->simulator().Schedule(
+      event.duration, [this, event, links = std::move(links)] {
+        switch (event.kind) {
+          case FaultKind::kChipFailure:
+            break;  // permanent: never scheduled
+          case FaultKind::kLinkFlap:
+            network_->ReleaseDegradedLink(event.link, event.degrade_factor);
+            break;
+          case FaultKind::kHostPreemption:
+            for (const topo::LinkId link : links) {
+              network_->ReleaseFailedLink(link);
+            }
+            break;
+          case FaultKind::kSlowHost:
+            for (const topo::LinkId link : links) {
+              network_->ReleaseDegradedLink(link, event.degrade_factor);
+            }
+            break;
+        }
+        --active_[static_cast<int>(event.kind)];
+        SetActiveGauge(event.kind);
+        if (on_heal_) on_heal_(event);
+      });
+}
+
 void FaultInjector::Apply(const FaultEvent& event) {
   sim::Simulator& simulator = network_->simulator();
-  // Transient faults heal by full restore. Overlapping faults on the same
-  // link resolve last-writer-wins — acceptable for the rare double fault; a
-  // permanent failure re-failing the link on overlap is not modeled.
-  auto schedule_heal = [&](const std::vector<topo::LinkId>& links,
-                           SimTime duration) {
-    if (duration <= 0) return;
-    net::Network* network = network_;
-    simulator.Schedule(duration, [network, links] {
-      for (const topo::LinkId link : links) network->RestoreLink(link);
-    });
-  };
-
   switch (event.kind) {
     case FaultKind::kChipFailure: {
       TPU_CHECK_GE(event.chip, 0);
@@ -181,27 +209,29 @@ void FaultInjector::Apply(const FaultEvent& event) {
     case FaultKind::kLinkFlap: {
       TPU_CHECK_GE(event.link, 0);
       network_->DegradeLink(event.link, event.degrade_factor);
-      schedule_heal({event.link}, event.duration);
+      ScheduleHeal(event, {event.link});
       break;
     }
     case FaultKind::kHostPreemption: {
       TPU_CHECK_GE(event.host, 0);
-      const std::vector<topo::LinkId> links = LinksOfHost(event.host);
+      std::vector<topo::LinkId> links = LinksOfHost(event.host);
       for (const topo::LinkId link : links) network_->FailLink(link);
-      schedule_heal(links, event.duration);
+      ScheduleHeal(event, std::move(links));
       break;
     }
     case FaultKind::kSlowHost: {
       TPU_CHECK_GE(event.host, 0);
-      const std::vector<topo::LinkId> links = LinksOfHost(event.host);
+      std::vector<topo::LinkId> links = LinksOfHost(event.host);
       for (const topo::LinkId link : links) {
         network_->DegradeLink(link, event.degrade_factor);
       }
-      schedule_heal(links, event.duration);
+      ScheduleHeal(event, std::move(links));
       break;
     }
   }
   injected_.push_back(event);
+  ++active_[static_cast<int>(event.kind)];
+  SetActiveGauge(event.kind);
 
   // Fault injections show on the timeline as instant events on a shared
   // "faults" track, named by class and unit (e.g. "link-flap link=42").
@@ -225,10 +255,21 @@ void FaultInjector::Apply(const FaultEvent& event) {
     metrics->Counter(std::string("fault.injected.") + FaultKindName(event.kind))
         .Add(1);
   }
+  if (on_apply_) on_apply_(event);
 }
 
 int FaultInjector::Arm(SimTime horizon) {
   schedule_ = GenerateFaultSchedule(network_->topology(), config_, horizon);
+  sim::Simulator& simulator = network_->simulator();
+  for (const FaultEvent& event : schedule_) {
+    simulator.ScheduleAt(simulator.now() + event.at,
+                         [this, event] { Apply(event); });
+  }
+  return static_cast<int>(schedule_.size());
+}
+
+int FaultInjector::ArmScripted(const std::vector<FaultEvent>& schedule) {
+  schedule_ = schedule;
   sim::Simulator& simulator = network_->simulator();
   for (const FaultEvent& event : schedule_) {
     simulator.ScheduleAt(simulator.now() + event.at,

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -82,37 +84,65 @@ std::vector<FaultEvent> GenerateFaultSchedule(const topo::MeshTopology& topo,
 // its healing) on the network's simulator clock, so faults fire while a
 // collective is in flight — exactly the mid-phase stall a HealthMonitor's
 // deadlines are meant to catch.
+// Transient heals release exactly what their fault applied (the network's
+// depth-counted / per-source link state), so overlapping schedules on the
+// same link compose in any order. The injector must outlive the simulator
+// run it armed: heal events capture `this` for accounting and observer
+// callbacks.
 class FaultInjector {
  public:
+  using EventHook = std::function<void(const FaultEvent&)>;
+
   FaultInjector(net::Network* network, const FaultModelConfig& config);
 
   // Generates the schedule over [0, horizon) and schedules each event.
   // Returns the number of events armed.
   int Arm(SimTime horizon);
 
+  // Arms a hand-written schedule (e.g. a canonical recovery scenario)
+  // instead of a generated one. Events fire at now() + event.at in the given
+  // order. Returns the number of events armed.
+  int ArmScripted(const std::vector<FaultEvent>& schedule);
+
   // Applies one event to the network now, scheduling its healing if the
   // event is transient. Exposed so tests can inject hand-written faults.
   void Apply(const FaultEvent& event);
 
+  // Observers for a recovery controller: `on_apply` fires right after an
+  // event's link-state change lands, `on_heal` right after a transient
+  // event's heal releases it. Both run on the simulated clock.
+  void set_on_apply(EventHook hook) { on_apply_ = std::move(hook); }
+  void set_on_heal(EventHook hook) { on_heal_ = std::move(hook); }
+
   // Every event applied so far (armed events appear once they fire).
   const std::vector<FaultEvent>& injected() const { return injected_; }
-  // Schedule produced by the last Arm() call, in firing order.
+  // Schedule produced by the last Arm()/ArmScripted() call, in firing order.
   const std::vector<FaultEvent>& schedule() const { return schedule_; }
 
   // Ground truth for detector accounting: was any injected fault active
   // (i.e. its links still degraded/failed) during [begin, end)?
   bool AnyFaultActiveIn(SimTime begin, SimTime end) const;
   int permanent_failures() const;
+  // Injected events whose heal has not fired yet, per kind.
+  int active_count(FaultKind kind) const {
+    return active_[static_cast<int>(kind)];
+  }
 
- private:
   // The directed links a chip-level or host-level fault touches.
   std::vector<topo::LinkId> LinksOfChip(topo::ChipId chip) const;
   std::vector<topo::LinkId> LinksOfHost(topo::HostId host) const;
+
+ private:
+  void ScheduleHeal(const FaultEvent& event, std::vector<topo::LinkId> links);
+  void SetActiveGauge(FaultKind kind) const;
 
   net::Network* network_;
   FaultModelConfig config_;
   std::vector<FaultEvent> schedule_;
   std::vector<FaultEvent> injected_;
+  int active_[4] = {0, 0, 0, 0};  // indexed by FaultKind
+  EventHook on_apply_;
+  EventHook on_heal_;
 };
 
 }  // namespace tpu::fault

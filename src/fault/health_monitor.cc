@@ -46,6 +46,13 @@ SimTime HealthMonitor::Observe(const PhaseObservation& observation) {
           .Add(1);
       metrics->Histogram("health.detection_latency_us")
           .Record(ToMicros(deadline));
+      // The fault.* view pairs with the injector's fault.injected.* /
+      // fault.active.* series: total alarms raised and the latency
+      // distribution (p50/p95/p99 in the registry dump) a recovery
+      // controller reacts to.
+      metrics->Counter("fault.detections").Add(1);
+      metrics->Histogram("fault.detection_latency_us")
+          .Record(ToMicros(deadline));
     }
     return observation.start + deadline;
   }

@@ -48,7 +48,7 @@ Network::Network(const topo::MeshTopology* topology,
     link_resources_.emplace_back(simulator_);
   }
   degradation_.assign(topology_->links().size(), 1.0);
-  failed_.assign(topology_->links().size(), false);
+  failed_.assign(topology_->links().size(), 0);
   route_cache_.resize(topology_->num_chips());
 }
 
@@ -120,7 +120,7 @@ void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
     // A failed link stalls the message: it eventually "arrives" (so the event
     // queue drains and simulations terminate), but far past any deadline a
     // health monitor would set.
-    if (failed_[hop.link]) serialize += kFailedLinkStall;
+    if (failed_[hop.link] != 0) serialize += kFailedLinkStall;
 
     sim::FifoResource& resource = link_resources_[hop.link];
     const SimTime start = resource.ReserveFrom(head, serialize);
@@ -149,7 +149,7 @@ void Network::Send(topo::ChipId from, topo::ChipId to, Bytes bytes,
       const trace::TraceRecorder::TrackId track =
           LinkTrack(recorder, hop.link);
       recorder->Complete(track, BytesLabel(bytes), start, start + serialize);
-      if (failed_[hop.link]) {
+      if (failed_[hop.link] != 0) {
         recorder->Instant(track, "failed-link stall", start);
       }
       const int pod = PodOf(topology_->link(hop.link).from);
@@ -255,21 +255,55 @@ void Network::DegradeLink(topo::LinkId link, double factor) {
   TPU_CHECK_GE(link, 0);
   TPU_CHECK_LT(link, static_cast<topo::LinkId>(degradation_.size()));
   TPU_CHECK_GE(factor, 1.0) << "a degradation factor below 1 would speed the "
-                               "link up; use RestoreLink to heal";
-  degradation_[link] = factor;
+                               "link up; use ReleaseDegradedLink to heal";
+  degrade_sources_.emplace_back(link, factor);
+  if (factor > degradation_[link]) degradation_[link] = factor;
   if (trace::TraceRecorder* recorder = trace::CurrentTrace()) {
     EnsureTraceState(recorder);
     char label[48];
-    std::snprintf(label, sizeof(label), "degraded x%.1f", factor);
+    std::snprintf(label, sizeof(label), "degraded x%.1f", degradation_[link]);
     recorder->Instant(LinkTrack(recorder, link), label, simulator_->now());
   }
+}
+
+void Network::RefreshDegradation(topo::LinkId link) {
+  double factor = 1.0;
+  for (const auto& [source_link, source_factor] : degrade_sources_) {
+    if (source_link == link && source_factor > factor) factor = source_factor;
+  }
+  degradation_[link] = factor;
+  if (factor == 1.0 && failed_[link] == 0) {
+    if (trace::TraceRecorder* recorder = trace::CurrentTrace()) {
+      EnsureTraceState(recorder);
+      recorder->Instant(LinkTrack(recorder, link), "link restored",
+                        simulator_->now());
+    }
+  }
+}
+
+void Network::ReleaseDegradedLink(topo::LinkId link, double factor) {
+  TPU_CHECK_GE(link, 0);
+  TPU_CHECK_LT(link, static_cast<topo::LinkId>(degradation_.size()));
+  for (std::size_t i = 0; i < degrade_sources_.size(); ++i) {
+    if (degrade_sources_[i].first == link &&
+        degrade_sources_[i].second == factor) {
+      degrade_sources_.erase(degrade_sources_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      RefreshDegradation(link);
+      return;
+    }
+  }
+  // No matching source: the link was force-restored (or never degraded by
+  // this factor). Idempotent no-op by design.
 }
 
 void Network::RestoreLink(topo::LinkId link) {
   TPU_CHECK_GE(link, 0);
   TPU_CHECK_LT(link, static_cast<topo::LinkId>(degradation_.size()));
   degradation_[link] = 1.0;
-  failed_[link] = false;
+  failed_[link] = 0;
+  std::erase_if(degrade_sources_,
+                [link](const auto& source) { return source.first == link; });
   if (trace::TraceRecorder* recorder = trace::CurrentTrace()) {
     EnsureTraceState(recorder);
     recorder->Instant(LinkTrack(recorder, link), "link restored",
@@ -280,7 +314,7 @@ void Network::RestoreLink(topo::LinkId link) {
 void Network::FailLink(topo::LinkId link) {
   TPU_CHECK_GE(link, 0);
   TPU_CHECK_LT(link, static_cast<topo::LinkId>(failed_.size()));
-  failed_[link] = true;
+  ++failed_[link];
   if (trace::TraceRecorder* recorder = trace::CurrentTrace()) {
     EnsureTraceState(recorder);
     recorder->Instant(LinkTrack(recorder, link), "link failed",
@@ -288,10 +322,23 @@ void Network::FailLink(topo::LinkId link) {
   }
 }
 
+void Network::ReleaseFailedLink(topo::LinkId link) {
+  TPU_CHECK_GE(link, 0);
+  TPU_CHECK_LT(link, static_cast<topo::LinkId>(failed_.size()));
+  if (failed_[link] == 0) return;  // force-restored meanwhile: no-op
+  if (--failed_[link] == 0 && degradation_[link] == 1.0) {
+    if (trace::TraceRecorder* recorder = trace::CurrentTrace()) {
+      EnsureTraceState(recorder);
+      recorder->Instant(LinkTrack(recorder, link), "link restored",
+                        simulator_->now());
+    }
+  }
+}
+
 bool Network::LinkFailed(topo::LinkId link) const {
   TPU_CHECK_GE(link, 0);
   TPU_CHECK_LT(link, static_cast<topo::LinkId>(failed_.size()));
-  return failed_[link];
+  return failed_[link] != 0;
 }
 
 double Network::LinkDegradation(topo::LinkId link) const {
@@ -302,7 +349,7 @@ double Network::LinkDegradation(topo::LinkId link) const {
 
 int Network::failed_link_count() const {
   int count = 0;
-  for (const bool f : failed_) count += f ? 1 : 0;
+  for (const int depth : failed_) count += depth > 0 ? 1 : 0;
   return count;
 }
 

@@ -96,24 +96,45 @@ class Network {
   // Mean utilization across links that carried any traffic.
   double MeanActiveLinkUtilization() const;
 
-  // Failure/straggler injection: multiplies the serialization time of one
-  // directed link (a flaky optical link, a congested neighbor). factor >= 1
-  // (enforced); use RestoreLink to heal.
+  // Failure/straggler injection: adds one degradation source multiplying the
+  // serialization time of one directed link (a flaky optical link, a
+  // congested neighbor). factor >= 1 (enforced). Sources stack as the max of
+  // the active factors — two overlapping faults slow the link by the worse
+  // of the two, and healing one leaves the other in force. Heal with the
+  // matching ReleaseDegradedLink (or RestoreLink to force-clear).
   void DegradeLink(topo::LinkId link, double factor);
 
-  // Heals a link: clears any degradation or failure, returning the link to
-  // its configured parameters. Timing of traffic sent after the restore is
-  // bit-identical to a never-degraded link.
+  // Removes one degradation source previously added with DegradeLink(link,
+  // factor). The link's effective multiplier drops to the max of the
+  // remaining sources (1.0 when none are left). A release with no matching
+  // source is a no-op, so overlapping fault schedules cannot over-heal.
+  void ReleaseDegradedLink(topo::LinkId link, double factor);
+
+  // Heals a link unconditionally: clears every degradation source and the
+  // full failure depth, returning the link to its configured parameters.
+  // Timing of traffic sent after the restore is bit-identical to a
+  // never-degraded link.
   void RestoreLink(topo::LinkId link);
 
-  // Permanent (until restored) link failure: traffic routed through the link
-  // stalls for kFailedLinkStall per byte-less hop rather than completing on
-  // schedule, so a synchronous collective blocked on it visibly exceeds any
-  // sane deadline instead of deadlocking the event queue.
+  // Link failure: traffic routed through the link stalls for
+  // kFailedLinkStall per byte-less hop rather than completing on schedule,
+  // so a synchronous collective blocked on it visibly exceeds any sane
+  // deadline instead of deadlocking the event queue. Failures are
+  // depth-counted: a link failed by two overlapping faults (say a chip death
+  // and a host preemption sharing the link) stays failed until both release
+  // it.
   void FailLink(topo::LinkId link);
 
+  // Undoes one FailLink. The link heals only when the failure depth reaches
+  // zero (and carries no degradation); releasing an already-healthy link is
+  // a no-op. This is what makes overlapping transient fault schedules
+  // order-independent: a heal racing another fault's Fail on the same link
+  // can never resurrect it early.
+  void ReleaseFailedLink(topo::LinkId link);
+
   bool LinkFailed(topo::LinkId link) const;
-  // Current serialization multiplier (1.0 = healthy).
+  // Current effective serialization multiplier (1.0 = healthy; the max over
+  // active degradation sources).
   double LinkDegradation(topo::LinkId link) const;
   int failed_link_count() const;
 
@@ -157,12 +178,21 @@ class Network {
   // per-construction config, so entries are never invalidated.
   const CachedRoute& RouteFor(topo::ChipId from, topo::ChipId to) const;
 
+  // Recomputes the effective degradation_[link] after a source was added or
+  // removed, and emits the restore trace instant when the link heals.
+  void RefreshDegradation(topo::LinkId link);
+
   const topo::MeshTopology* topology_;
   NetworkConfig config_;
   sim::Simulator* simulator_;
   std::vector<sim::FifoResource> link_resources_;  // indexed by LinkId
-  std::vector<double> degradation_;                // serialize multiplier
-  std::vector<bool> failed_;                       // per-link failure state
+  // Hot-path state, one branch/multiply per hop: the *effective* serialize
+  // multiplier (max over active sources) and the failure depth.
+  std::vector<double> degradation_;
+  std::vector<int> failed_;  // depth-counted failure state
+  // Active degradation sources as (link, factor) pairs. Faults are rare and
+  // short-lived, so a flat list with linear scans beats per-link storage.
+  std::vector<std::pair<topo::LinkId, double>> degrade_sources_;
   TrafficStats traffic_;
   // Indexed by source chip; each entry is the handful of (destination,
   // hop schedule) pairs that source has ever messaged — collectives only talk

@@ -1,0 +1,130 @@
+// Event-driven recovery orchestration over the live simulation.
+//
+// The RecoveryController subscribes to a FaultInjector's apply/heal events
+// and drives a per-fault state machine — detect -> diagnose -> select ->
+// execute -> verify — on the same simulator clock the faults fire on. The
+// run itself is modeled as a piecewise-constant work accumulator: between
+// events, training accrues useful seconds at the current effective rate
+// (healthy, silently degraded, routed or shrunk); a fault whose priced step
+// overruns the detection deadline stalls the machine at rate zero until a
+// recovery strategy restores an acceptable step time. The result is a
+// RecoveryTimeline: every fault, decision, downtime and throughput interval
+// on the simulated clock, composing into goodput.
+//
+// Determinism: the controller schedules plain simulator events, prices with
+// the deterministic StepPricer oracles, and never consults wall-clock or
+// randomness — a seeded fault schedule replays to a bit-identical timeline
+// at any planner thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "fault/fault_injector.h"
+#include "network/network.h"
+#include "plan/plan_ir.h"
+#include "recover/recovery.h"
+#include "sim/simulator.h"
+#include "topology/topology.h"
+
+namespace tpu::recover {
+
+struct ControllerConfig {
+  RecoveryPolicy policy;
+  RecoveryCosts costs;
+  StepPricer pricer;
+  // Useful training seconds the run must accumulate (the fault-free
+  // makespan, before the checkpoint-write discount).
+  SimTime total_work = 0;
+  // The stall alarm: a priced step above this stalls the machine and fires
+  // detection after exactly this long (the health monitor's deadline).
+  SimTime detection_deadline = 0;
+  // Checkpoint cadence tau in useful seconds; <= 0 disables checkpointing
+  // (a rollback then redoes the whole run so far).
+  SimTime checkpoint_interval = 0;
+  // Mean transient durations for the memoryless residual-heal estimate.
+  fault::FaultModelConfig faults;
+  // Elastic-shrink carve quantum along X (the model-parallel group width).
+  int x_granularity = 1;
+};
+
+class RecoveryController {
+ public:
+  // The controller registers itself as the injector's apply/heal observer;
+  // the caller arms the injector (Arm / ArmScripted) before Run, and both
+  // must outlive the run.
+  RecoveryController(net::Network* network, fault::FaultInjector* injector,
+                     ControllerConfig config);
+
+  // Drives the simulator until the work completes or the clock passes
+  // `horizon`; the timeline's `completed` flag says which. Call once.
+  RecoveryTimeline Run(SimTime horizon);
+
+ private:
+  // Control state: kRunning accrues work; kStalled is the pre-detection
+  // window (a heal here resolves the stall silently); kWaiting is the
+  // backoff probe loop; kExecuting is a strategy's downtime.
+  enum class Mode { kRunning, kStalled, kWaiting, kExecuting };
+  // What schedule the machine is executing while running.
+  enum class ExecMode { kNormal, kRouted, kShrunk };
+
+  void OnFault(const fault::FaultEvent& event);
+  void OnHeal(const fault::FaultEvent& event);
+  void OnDetect(std::uint64_t stall_seq);
+  void OnProbe(std::uint64_t decision_seq, SimTime gap);
+  void OnVerify(std::uint64_t decision_seq);
+  void OnFinish(std::uint64_t rate_epoch);
+
+  // Mode-aware step estimate under the network's current link state.
+  SimTime CurrentStepEstimate();
+  Diagnosis Diagnose() const;
+  PricingContext Context();
+  void Decide();
+  void EnterStall();
+  void CompleteDecision(SimTime step_after);
+  void Rollback();
+  // No active fault touches the carved rectangle's chips or interior links.
+  bool RectClean(const topo::SubmeshRect& rect) const;
+
+  void AdvanceWork();
+  void CloseInterval();
+  void SetRate(SimTime step_seconds, const char* label);
+  double RateFor(SimTime step) const;
+  const char* LabelFor(SimTime step) const;
+  void TraceInstant(const char* name);
+
+  net::Network* network_;
+  fault::FaultInjector* injector_;
+  ControllerConfig config_;
+  sim::Simulator* sim_;
+
+  RecoveryTimeline timeline_;
+  Mode mode_ = Mode::kRunning;
+  ExecMode exec_mode_ = ExecMode::kNormal;
+  double rate_ = 0;
+  SimTime step_seconds_ = 0;
+  SimTime interval_start_ = 0;
+  const char* interval_label_ = "healthy";
+  SimTime work_done_ = 0;
+  SimTime last_advance_ = 0;
+  bool done_ = false;
+
+  // Epoch guards: the simulator has no event cancellation, so every
+  // scheduled callback carries the epoch it was issued under and no-ops if
+  // the state moved on.
+  std::uint64_t rate_epoch_ = 0;      // guards the finish event
+  std::uint64_t stall_seq_ = 0;       // guards the detection event
+  std::uint64_t decision_seq_ = 0;    // guards probes and verify
+
+  SimTime stall_start_ = -1;
+  int attempt_ = 0;
+  unsigned exhausted_ = 0;
+  int spares_left_ = 0;
+  std::vector<fault::FaultEvent> active_faults_;
+  StrategyOption pending_;
+  topo::SubmeshRect rect_;
+  SimTime shrunk_step_ = 0;
+};
+
+}  // namespace tpu::recover

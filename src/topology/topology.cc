@@ -222,6 +222,57 @@ std::vector<ChipId> MeshTopology::StridedRingAlong(Dim dim, ChipId through,
   return FoldLine(strided);
 }
 
+SubmeshRect LargestHealthySubmesh(const MeshTopology& topo,
+                                  const std::vector<ChipId>& dead_chips,
+                                  int x_granularity) {
+  TPU_CHECK_GE(x_granularity, 1);
+  TPU_CHECK_EQ(topo.size_x() % x_granularity, 0)
+      << "carve granularity must tile the mesh width";
+  const int cols = topo.size_x() / x_granularity;  // granule columns
+  const int rows = topo.size_y();
+
+  // granule (col, row) is healthy iff all x_granularity chips in it are.
+  std::vector<char> healthy(static_cast<std::size_t>(cols) * rows, 1);
+  for (const ChipId chip : dead_chips) {
+    const Coord c = topo.CoordOf(chip);
+    healthy[static_cast<std::size_t>(c.y) * cols + c.x / x_granularity] = 0;
+  }
+
+  // Classic maximal rectangle: per row, heights[c] counts consecutive
+  // healthy rows ending here; a monotonic stack finds the best rectangle of
+  // each histogram. Strict `>` on area keeps the first-found winner, so the
+  // result is a deterministic function of (topology, dead set, granularity).
+  SubmeshRect best;
+  std::vector<int> heights(cols + 1, 0);  // sentinel column flushes the stack
+  std::vector<int> stack;                 // column indices, heights ascending
+  for (int y = 0; y < rows; ++y) {
+    for (int c = 0; c < cols; ++c) {
+      heights[c] = healthy[static_cast<std::size_t>(y) * cols + c] != 0
+                       ? heights[c] + 1
+                       : 0;
+    }
+    stack.clear();
+    for (int c = 0; c <= cols; ++c) {
+      const int h = heights[c];
+      int left = c;
+      while (!stack.empty() && heights[stack.back()] >= h) {
+        const int top = stack.back();
+        stack.pop_back();
+        left = stack.empty() ? 0 : stack.back() + 1;
+        const int area = heights[top] * (c - left);
+        if (area > best.chips() / x_granularity) {
+          best.x0 = left * x_granularity;
+          best.y0 = y - heights[top] + 1;
+          best.size_x = (c - left) * x_granularity;
+          best.size_y = heights[top];
+        }
+      }
+      stack.push_back(c);
+    }
+  }
+  return best;
+}
+
 std::string MeshTopology::ToString() const {
   std::ostringstream os;
   os << "MeshTopology " << size_x() << "x" << size_y() << " ("

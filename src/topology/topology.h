@@ -173,4 +173,31 @@ class MeshTopology {
   static constexpr int kDirMinusY = 3;
 };
 
+// An axis-aligned rectangle of chips: [x0, x0+size_x) x [y0, y0+size_y).
+// The unit of elastic shrink — a carved sub-mesh is itself a legal Slice
+// topology (same X-then-Y dimension-ordered routes, folded rings).
+struct SubmeshRect {
+  int x0 = 0;
+  int y0 = 0;
+  int size_x = 0;
+  int size_y = 0;
+
+  int chips() const { return size_x * size_y; }
+  bool Contains(Coord c) const {
+    return c.x >= x0 && c.x < x0 + size_x && c.y >= y0 && c.y < y0 + size_y;
+  }
+  friend bool operator==(const SubmeshRect&, const SubmeshRect&) = default;
+};
+
+// Largest axis-aligned rectangular sub-mesh of `topo` containing none of
+// `dead_chips` (maximal-rectangle-in-binary-matrix, histogram-stack form).
+// `x_granularity` quantizes x0 and size_x to multiples of the given width —
+// pass the model-parallel group width so a carved slice keeps tiling into
+// whole groups; it must divide topo.size_x(). Ties on area break toward the
+// first rectangle in (y, then x) scan order, so the carve is deterministic.
+// Returns a zero-area rect when every granule contains a dead chip.
+SubmeshRect LargestHealthySubmesh(const MeshTopology& topo,
+                                  const std::vector<ChipId>& dead_chips,
+                                  int x_granularity = 1);
+
 }  // namespace tpu::topo

@@ -187,6 +187,10 @@ void RunReport::WriteJson(std::ostream& out) const {
     json += ",\"critical_path\":";
     AppendCriticalPath(&json, critical_path);
   }
+  if (!recovery_json.empty()) {
+    json += ",\"recovery\":";
+    json += recovery_json;
+  }
   json += ",\"metrics\":";
   json += metrics_json.empty() ? "{}" : metrics_json;
   json += "}\n";

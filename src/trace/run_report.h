@@ -48,6 +48,11 @@ struct RunReport {
   // Raw MetricsRegistry JSON snapshot ("{}" when metrics were disabled).
   std::string metrics_json;
 
+  // Raw RecoveryTimeline JSON (recover::RecoveryTimeline::ToJson()); empty
+  // when the run had no recovery orchestration, and then omitted entirely so
+  // non-recovery reports stay byte-identical.
+  std::string recovery_json;
+
   // {"label":...,"phases":[...],"plan":{...},"critical_path":{...},
   //  "metrics":{...}} — deterministic for identical runs.
   void WriteJson(std::ostream& out) const;

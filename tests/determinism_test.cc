@@ -40,6 +40,39 @@ TEST(Determinism, TrainingUnderFailuresIsBitIdenticalAcrossRuns) {
   EXPECT_EQ(a.goodput, b.goodput);
 }
 
+TEST(Determinism, RecoveryTimelineIsBitIdenticalAcrossRunsAndThreads) {
+  // The event-driven recovery controller on an MTBF-generated fault schedule:
+  // the full timeline (every fault, decision, downtime and throughput
+  // interval) must replay byte-identically across repeats, and the planner
+  // searches it issues must be thread-count invariant.
+  core::FaultToleranceOptions options;
+  options.recovery.enabled = true;
+  options.checkpoint_interval = Seconds(600);
+  options.faults.seed = 7;
+  options.faults.link_flap_mtbf = Seconds(2e4);
+  options.faults.slow_host_mtbf = Seconds(4e4);
+  options.faults.slow_host_degrade_factor = 4096.0;
+  options.faults.slow_host_mean_duration = Seconds(30);
+  auto run = [&] {
+    core::MultipodSystem system(topo::TopologyConfig::Slice(16, 8, true));
+    return system.SimulateTrainingUnderFailures(
+        models::Benchmark::kDlrm, 65536, 1,
+        frameworks::Framework::kTensorFlow, options);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_TRUE(a.recovered);
+  EXPECT_TRUE(a.timeline.completed);
+  EXPECT_GT(a.timeline.faults_applied, 0);
+  EXPECT_EQ(a.expected_seconds, b.expected_seconds);
+  EXPECT_EQ(a.goodput, b.goodput);
+  EXPECT_EQ(a.timeline.ToJson(), b.timeline.ToJson());
+
+  options.recovery.search_threads = 4;
+  const auto threaded = run();
+  EXPECT_EQ(a.timeline.ToJson(), threaded.timeline.ToJson());
+}
+
 TEST(Determinism, PlannerSearchIsBitIdenticalAcrossRuns) {
   const topo::MeshTopology topo(topo::TopologyConfig::Slice(8, 8, true));
   const net::NetworkConfig config;

@@ -14,6 +14,7 @@
 #include "network/network.h"
 #include "sim/simulator.h"
 #include "topology/topology.h"
+#include "trace/metrics.h"
 
 namespace tpu {
 namespace {
@@ -138,6 +139,214 @@ TEST(FaultInjector, GroundTruthWindowQueries) {
   EXPECT_TRUE(injector.AnyFaultActiveIn(Seconds(0), Seconds(11)));
   EXPECT_FALSE(injector.AnyFaultActiveIn(Seconds(0), Seconds(10)));
   EXPECT_FALSE(injector.AnyFaultActiveIn(Seconds(16), Seconds(20)));
+}
+
+// --- Overlapping schedules on the same link --------------------------------
+//
+// Transient heals release exactly what their fault applied (depth-counted
+// fails, per-source degradations), so same-link overlap composes in any
+// order and a heal can never resurrect a link another fault still holds.
+
+TEST(FaultInjector, OverlappingFlapsComposeByMaxAndHealIndependently) {
+  Rig rig;
+  const auto link =
+      rig.topo.LinkBetween(rig.topo.ChipAt({1, 1}), rig.topo.ChipAt({1, 2}));
+  fault::FaultInjector injector(&rig.network, {});
+  fault::FaultEvent first;
+  first.kind = fault::FaultKind::kLinkFlap;
+  first.link = link;
+  first.at = 0;
+  first.duration = Seconds(5);
+  first.degrade_factor = 8.0;
+  fault::FaultEvent second = first;
+  second.at = Seconds(2);
+  second.duration = Seconds(7);  // heals at t = 9
+  second.degrade_factor = 4.0;
+  injector.ArmScripted({first, second});
+
+  // While both are live the worse factor wins; the first heal at t = 5 must
+  // leave the second fault's degradation in force, not restore the link.
+  rig.simulator.Schedule(Seconds(3), [&] {
+    EXPECT_DOUBLE_EQ(rig.network.LinkDegradation(link), 8.0);
+  });
+  rig.simulator.Schedule(Seconds(6), [&] {
+    EXPECT_DOUBLE_EQ(rig.network.LinkDegradation(link), 4.0);
+  });
+  rig.simulator.Run();
+  EXPECT_DOUBLE_EQ(rig.network.LinkDegradation(link), 1.0);
+  EXPECT_GE(rig.simulator.now(), Seconds(9));
+}
+
+TEST(FaultInjector, OverlappingHostPreemptionsAreDepthCounted) {
+  Rig rig;
+  const topo::HostId host = rig.topo.HostOf(rig.topo.ChipAt({2, 2}));
+  fault::FaultInjector injector(&rig.network, {});
+  const std::vector<topo::LinkId> links = injector.LinksOfHost(host);
+  ASSERT_FALSE(links.empty());
+  fault::FaultEvent first;
+  first.kind = fault::FaultKind::kHostPreemption;
+  first.host = host;
+  first.at = 0;
+  first.duration = Seconds(5);
+  fault::FaultEvent second = first;
+  second.at = Seconds(2);
+  second.duration = Seconds(10);  // heals at t = 12
+  injector.ArmScripted({first, second});
+
+  // The first preemption's heal at t = 5 pops one failure depth; the links
+  // stay failed until the second heal at t = 12.
+  rig.simulator.Schedule(Seconds(6), [&] {
+    for (const topo::LinkId link : links) {
+      EXPECT_TRUE(rig.network.LinkFailed(link));
+    }
+  });
+  rig.simulator.Run();
+  for (const topo::LinkId link : links) {
+    EXPECT_FALSE(rig.network.LinkFailed(link));
+  }
+  EXPECT_EQ(rig.network.failed_link_count(), 0);
+  EXPECT_EQ(injector.active_count(fault::FaultKind::kHostPreemption), 0);
+}
+
+TEST(FaultInjector, HealLandingExactlyOnAnotherApplyKeepsTheLinkDegraded) {
+  Rig rig;
+  const auto link =
+      rig.topo.LinkBetween(rig.topo.ChipAt({4, 4}), rig.topo.ChipAt({4, 5}));
+  fault::FaultInjector injector(&rig.network, {});
+  fault::FaultEvent first;
+  first.kind = fault::FaultKind::kLinkFlap;
+  first.link = link;
+  first.at = 0;
+  first.duration = Seconds(5);
+  first.degrade_factor = 8.0;
+  // The second fault's apply fires at the same timestamp as the first's
+  // heal. ArmScripted schedules applies up front, so the apply runs first:
+  // per-source release keeps the link degraded across the boundary either
+  // way, with no instant of false health.
+  fault::FaultEvent second = first;
+  second.at = Seconds(5);
+  injector.ArmScripted({first, second});
+  rig.simulator.Schedule(Seconds(6), [&] {
+    EXPECT_DOUBLE_EQ(rig.network.LinkDegradation(link), 8.0);
+  });
+  rig.simulator.Run();
+  EXPECT_DOUBLE_EQ(rig.network.LinkDegradation(link), 1.0);
+  EXPECT_GE(rig.simulator.now(), Seconds(10));
+}
+
+TEST(FaultInjector, TransientHealNeverResurrectsAPermanentFailure) {
+  Rig rig;
+  const topo::ChipId chip = rig.topo.ChipAt({1, 2});
+  fault::FaultInjector injector(&rig.network, {});
+  const std::vector<topo::LinkId> chip_links = injector.LinksOfChip(chip);
+  ASSERT_FALSE(chip_links.empty());
+  const topo::LinkId link = chip_links.front();
+  fault::FaultEvent flap;
+  flap.kind = fault::FaultKind::kLinkFlap;
+  flap.link = link;
+  flap.at = 0;
+  flap.duration = Seconds(5);
+  flap.degrade_factor = 8.0;
+  fault::FaultEvent death;
+  death.kind = fault::FaultKind::kChipFailure;
+  death.chip = chip;
+  death.at = Seconds(2);
+  injector.ArmScripted({flap, death});
+  rig.simulator.Run();
+  // The flap healed (its degradation source is gone) but the chip death
+  // keeps the link failed forever.
+  EXPECT_DOUBLE_EQ(rig.network.LinkDegradation(link), 1.0);
+  EXPECT_TRUE(rig.network.LinkFailed(link));
+  EXPECT_EQ(injector.permanent_failures(), 1);
+}
+
+TEST(Network, ReleaseWithoutMatchingFaultIsANoOp) {
+  Rig rig;
+  const auto link =
+      rig.topo.LinkBetween(rig.topo.ChipAt({0, 0}), rig.topo.ChipAt({0, 1}));
+  rig.network.ReleaseFailedLink(link);   // never failed: no-op
+  rig.network.ReleaseDegradedLink(link, 8.0);  // no such source: no-op
+  EXPECT_FALSE(rig.network.LinkFailed(link));
+  EXPECT_DOUBLE_EQ(rig.network.LinkDegradation(link), 1.0);
+
+  rig.network.DegradeLink(link, 4.0);
+  rig.network.ReleaseDegradedLink(link, 8.0);  // wrong factor: no-op
+  EXPECT_DOUBLE_EQ(rig.network.LinkDegradation(link), 4.0);
+  rig.network.RestoreLink(link);  // force-clear
+  EXPECT_DOUBLE_EQ(rig.network.LinkDegradation(link), 1.0);
+}
+
+// --- Injector edge cases ----------------------------------------------------
+
+TEST(FaultInjector, ZeroDurationFaultIsPermanent) {
+  Rig rig;
+  const auto link =
+      rig.topo.LinkBetween(rig.topo.ChipAt({2, 3}), rig.topo.ChipAt({2, 4}));
+  fault::FaultInjector injector(&rig.network, {});
+  fault::FaultEvent flap;
+  flap.kind = fault::FaultKind::kLinkFlap;
+  flap.link = link;
+  flap.duration = 0;  // permanent: no heal is ever scheduled
+  flap.degrade_factor = 8.0;
+  EXPECT_TRUE(flap.permanent());
+  EXPECT_LT(flap.heal_at(), 0.0);
+  injector.Apply(flap);
+  rig.simulator.Run();
+  EXPECT_DOUBLE_EQ(rig.network.LinkDegradation(link), 8.0);
+  EXPECT_EQ(injector.active_count(fault::FaultKind::kLinkFlap), 1);
+}
+
+TEST(FaultSchedule, ShorterHorizonIsABitIdenticalPrefix) {
+  // The --smoke property: per-unit RNG streams make the schedule over a
+  // short horizon the exact prefix of the schedule over a long one.
+  Rig rig;
+  const fault::FaultModelConfig config = BusyFaultModel(42);
+  const auto smoke =
+      fault::GenerateFaultSchedule(rig.topo, config, Seconds(500));
+  const auto full =
+      fault::GenerateFaultSchedule(rig.topo, config, Seconds(20'000));
+  std::vector<fault::FaultEvent> prefix;
+  for (const fault::FaultEvent& event : full) {
+    if (event.at < Seconds(500)) prefix.push_back(event);
+  }
+  ASSERT_FALSE(smoke.empty());
+  EXPECT_EQ(smoke, prefix);
+}
+
+TEST(FaultInjector, EmitsInjectionAndActiveGaugeMetrics) {
+  trace::MetricsRegistry registry;
+  trace::ScopedMetrics scope(&registry);
+  Rig rig;
+  const auto link =
+      rig.topo.LinkBetween(rig.topo.ChipAt({5, 5}), rig.topo.ChipAt({5, 6}));
+  fault::FaultInjector injector(&rig.network, {});
+  fault::FaultEvent flap;
+  flap.kind = fault::FaultKind::kLinkFlap;
+  flap.link = link;
+  flap.duration = Seconds(5);
+  flap.degrade_factor = 8.0;
+  injector.Apply(flap);
+  EXPECT_EQ(registry.Counter("fault.injected.link-flap").value, 1);
+  EXPECT_DOUBLE_EQ(registry.Gauge("fault.active.link-flap").value, 1.0);
+  rig.simulator.Run();  // the heal returns the active gauge to zero
+  EXPECT_DOUBLE_EQ(registry.Gauge("fault.active.link-flap").value, 0.0);
+}
+
+TEST(HealthMonitor, EmitsDetectionMetrics) {
+  trace::MetricsRegistry registry;
+  trace::ScopedMetrics scope(&registry);
+  fault::HealthMonitorConfig config;
+  config.deadline_multiple = 2.0;
+  config.min_deadline = 0.0;
+  fault::HealthMonitor monitor(config);
+  // True detection: fault present, phase overran its deadline.
+  monitor.Observe({/*start=*/10.0, /*expected=*/1.0, /*actual=*/5.0,
+                   /*fault_active=*/true});
+  // Healthy phase: no detection recorded.
+  monitor.Observe({0.0, 1.0, 1.0, false});
+  EXPECT_EQ(registry.Counter("fault.detections").value, 1);
+  EXPECT_EQ(registry.Histogram("fault.detection_latency_us").count(), 1);
+  EXPECT_GT(registry.Histogram("fault.detection_latency_us").mean(), 0.0);
 }
 
 // --- Detection through the collective's phase deadlines -------------------
