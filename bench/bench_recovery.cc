@@ -31,6 +31,7 @@
 #include "fault/fault_injector.h"
 #include "models/model_specs.h"
 #include "recover/recovery.h"
+#include "telemetry/telemetry.h"
 #include "topology/topology.h"
 #include "trace/metrics.h"
 #include "trace/run_report.h"
@@ -159,6 +160,12 @@ int main() {
       report.compute_seconds = result.failure_free.step.compute;
       report.comm_seconds = result.failure_free.step.allreduce;
       report.recovery_json = timeline.ToJson();
+      // Under --telemetry the report also embeds the session as collected so
+      // far (this scenario's sampled run); without the flag the field stays
+      // empty and the report is byte-identical to a telemetry-free build.
+      if (telemetry::CurrentTelemetry() != nullptr) {
+        report.telemetry_json = telemetry::CurrentTelemetry()->ToJson();
+      }
       std::ostringstream metrics_json;
       registry.WriteJson(metrics_json);
       report.metrics_json = metrics_json.str();

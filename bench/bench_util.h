@@ -16,6 +16,11 @@
 //   --json=PATH     (TPU_BENCH_JSON=PATH)     machine-readable results to
 //                                             PATH (benches opt in via
 //                                             bench::JsonPath())
+//   --telemetry[=PATH] (TPU_BENCH_TELEMETRY)  install a telemetry session
+//                                             (continuous sampling + anomaly
+//                                             watchdogs + flight recorder);
+//                                             JSON to PATH, default
+//                                             telemetry.json
 // Header() installs the process-global recorder/registry; files are written
 // by an atexit hook so benches need no per-bench changes.
 #pragma once
@@ -28,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/telemetry.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
@@ -37,10 +43,13 @@ namespace internal {
 struct ObservabilityEnv {
   trace::TraceRecorder recorder;
   trace::MetricsRegistry metrics;
+  telemetry::TelemetrySession telemetry;
   std::string trace_path;
   std::string metrics_path;  // empty with metrics_on: text dump to stderr
   std::string json_path;
+  std::string telemetry_path;
   bool metrics_on = false;
+  bool telemetry_on = false;
   bool smoke = false;
   bool initialized = false;
 };
@@ -80,6 +89,15 @@ inline void FlushObservability() {
                    env.trace_path.c_str());
     }
   }
+  if (env.telemetry_on) {
+    // Session-lifetime telemetry.* counters land in the same registry dump
+    // the metrics flag writes (exactly once, here, so per-scenario metric
+    // snapshots taken during the run stay telemetry-free).
+    if (env.metrics_on) env.telemetry.ExportMetrics(env.metrics);
+    std::ofstream out(env.telemetry_path);
+    env.telemetry.WriteJson(out);
+    std::fprintf(stderr, "telemetry -> %s\n", env.telemetry_path.c_str());
+  }
   if (env.metrics_on && !env.metrics.empty()) {
     if (env.metrics_path.empty()) {
       std::ostringstream out;
@@ -110,7 +128,8 @@ inline void InitObservability() {
     if (arg.rfind("--", 0) != 0) continue;
     const bool known = arg.rfind("--trace=", 0) == 0 || arg == "--metrics" ||
                        arg.rfind("--metrics=", 0) == 0 || arg == "--smoke" ||
-                       arg.rfind("--json=", 0) == 0 ||
+                       arg.rfind("--json=", 0) == 0 || arg == "--telemetry" ||
+                       arg.rfind("--telemetry=", 0) == 0 ||
                        arg.rfind("--benchmark", 0) == 0;
     if (!known) {
       std::fprintf(stderr,
@@ -120,7 +139,9 @@ inline void InitObservability() {
                    "  --metrics       dump the metrics registry to stderr\n"
                    "  --metrics=PATH  dump the metrics registry as JSON\n"
                    "  --smoke         reduced-scale run\n"
-                   "  --json=PATH     machine-readable results to PATH\n",
+                   "  --json=PATH     machine-readable results to PATH\n"
+                   "  --telemetry[=PATH]  continuous sampling + watchdogs + "
+                   "flight recorder, JSON to PATH\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -138,6 +159,10 @@ inline void InitObservability() {
   if (const char* v = std::getenv("TPU_BENCH_JSON")) {
     args.push_back(std::string("--json=") + v);
   }
+  if (const char* v = std::getenv("TPU_BENCH_TELEMETRY")) {
+    args.push_back(std::string(v) == "1" ? "--telemetry"
+                                         : std::string("--telemetry=") + v);
+  }
   for (const std::string& arg : args) {
     if (arg.rfind("--trace=", 0) == 0) {
       env.trace_path = arg.substr(8);
@@ -150,12 +175,21 @@ inline void InitObservability() {
       env.smoke = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       env.json_path = arg.substr(7);
+    } else if (arg == "--telemetry") {
+      env.telemetry_on = true;
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      env.telemetry_on = true;
+      env.telemetry_path = arg.substr(12);
     }
+  }
+  if (env.telemetry_on && env.telemetry_path.empty()) {
+    env.telemetry_path = "telemetry.json";
   }
 
   if (!env.trace_path.empty()) trace::SetCurrentTrace(&env.recorder);
   if (env.metrics_on) trace::SetCurrentMetrics(&env.metrics);
-  if (!env.trace_path.empty() || env.metrics_on) {
+  if (env.telemetry_on) telemetry::SetCurrentTelemetry(&env.telemetry);
+  if (!env.trace_path.empty() || env.metrics_on || env.telemetry_on) {
     std::atexit(FlushObservability);
   }
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "collectives/all_reduce.h"
@@ -20,6 +21,9 @@
 #include "sim/event_observer.h"
 #include "sim/simulator.h"
 #include "spmd/spmd.h"
+#include "telemetry/probes.h"
+#include "telemetry/sampler.h"
+#include "telemetry/telemetry.h"
 #include "trace/critical_path.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
@@ -543,6 +547,7 @@ FaultTolerantResult MultipodSystem::SimulateTrainingUnderFailures(
       trace::ScopedTrace no_trace(nullptr);
       trace::ScopedMetrics no_metrics(nullptr);
       sim::ScopedEventObserver no_observer(nullptr);
+      telemetry::ScopedTelemetry no_telemetry(nullptr);
       comm_healthy =
           plan::EstimatePlanSeconds(topology_, options_.network, {}, lowered);
     }
@@ -551,6 +556,7 @@ FaultTolerantResult MultipodSystem::SimulateTrainingUnderFailures(
       trace::ScopedTrace no_trace(nullptr);
       trace::ScopedMetrics no_metrics(nullptr);
       sim::ScopedEventObserver no_observer(nullptr);
+      telemetry::ScopedTelemetry no_telemetry(nullptr);
       const SimTime comm =
           plan::EstimatePlanSeconds(topology_, options_.network, health,
                                     lowered);
@@ -564,6 +570,7 @@ FaultTolerantResult MultipodSystem::SimulateTrainingUnderFailures(
       trace::ScopedTrace no_trace(nullptr);
       trace::ScopedMetrics no_metrics(nullptr);
       sim::ScopedEventObserver no_observer(nullptr);
+      telemetry::ScopedTelemetry no_telemetry(nullptr);
       const SimTime planned_healthy =
           plan::FindBestPlan(topology_, options_.network, request, {},
                              &plan_cache_)
@@ -590,6 +597,7 @@ FaultTolerantResult MultipodSystem::SimulateTrainingUnderFailures(
       trace::ScopedTrace no_trace(nullptr);
       trace::ScopedMetrics no_metrics(nullptr);
       sim::ScopedEventObserver no_observer(nullptr);
+      telemetry::ScopedTelemetry no_telemetry(nullptr);
       // The carve keeps Y wrap links only when it spans the full Y extent.
       const bool wrap_y =
           topology_.config().wrap_y && rect.size_y == topology_.size_y();
@@ -624,6 +632,8 @@ FaultTolerantResult MultipodSystem::SimulateTrainingUnderFailures(
     // so the final completed timeline is deterministic.
     recover::RecoveryTimeline timeline;
     SimTime horizon = std::max<SimTime>(2 * base, Seconds(1));
+    telemetry::TelemetrySession* telemetry_session =
+        telemetry::CurrentTelemetry();
     for (int round = 0; round < 6; ++round) {
       sim::Simulator simulator;
       net::Network network(&topology_, options_.network, &simulator);
@@ -635,8 +645,33 @@ FaultTolerantResult MultipodSystem::SimulateTrainingUnderFailures(
       } else {
         injector.Arm(horizon);
       }
+      // Continuous telemetry over the recovery round: run/net/sim probes on
+      // telemetry-class events (work timestamps stay bit-identical), ticking
+      // until the controller finishes. Each retry round begins a fresh run;
+      // only the completed round is committed, so truncated rounds never
+      // reach the export.
+      std::unique_ptr<telemetry::TimeSeriesSampler> sampler;
+      if (telemetry_session != nullptr) {
+        telemetry_session->BeginRun("recovery/" + spec.name, simulator.now());
+        sampler = std::make_unique<telemetry::TimeSeriesSampler>(
+            &simulator, telemetry_session);
+        recover::RegisterRecoveryProbes(*sampler, controller);
+        telemetry::RegisterNetworkProbes(*sampler, network);
+        telemetry::RegisterSimulatorProbes(*sampler, simulator);
+        for (const fault::FaultEvent& event : fault_options.scripted_faults) {
+          if (event.kind == fault::FaultKind::kLinkFlap) {
+            telemetry::RegisterLinkProbes(*sampler, network, event.link);
+          }
+        }
+        const recover::RecoveryController* ctl = &controller;
+        sampler->set_stop_predicate([ctl] { return ctl->finished(); });
+        sampler->Start();
+      }
       timeline = controller.Run(horizon);
-      if (timeline.completed) break;
+      if (timeline.completed) {
+        if (telemetry_session != nullptr) telemetry_session->CommitRun();
+        break;
+      }
       horizon *= 2;
     }
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "telemetry/telemetry.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
@@ -35,10 +36,12 @@ std::vector<SweepPoint> RunScalingSweep(const SweepConfig& config) {
           ? std::max(1u, std::thread::hardware_concurrency())
           : static_cast<std::size_t>(std::max(config.threads, 1));
   threads = std::min(threads, n);
-  // The trace recorder and metrics registry are thread-local, so worker
-  // threads would simulate silently; to keep a traced/metered sweep's
-  // observable output independent of the thread count, run it serially.
-  if (trace::CurrentTrace() != nullptr || trace::CurrentMetrics() != nullptr) {
+  // The trace recorder, metrics registry and telemetry session are
+  // thread-local, so worker threads would simulate silently; to keep an
+  // observed sweep's output independent of the thread count, run it
+  // serially.
+  if (trace::CurrentTrace() != nullptr || trace::CurrentMetrics() != nullptr ||
+      telemetry::CurrentTelemetry() != nullptr) {
     threads = 1;
   }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "telemetry/sampler.h"
 #include "trace/metrics.h"
 
 namespace tpu::gpu {
@@ -127,6 +128,18 @@ std::vector<PublishedGpuResult> NvidiaV07Results(models::Benchmark benchmark) {
       return {{"A100", 16, 3.33}, {"V100", 16, 4.4}};
   }
   return {};
+}
+
+void RegisterGpuStepRateProbe(telemetry::TimeSeriesSampler& sampler,
+                              const GpuSystemConfig& config,
+                              const models::ModelSpec& spec, int num_gpus,
+                              std::int64_t global_batch) {
+  const GpuSystemConfig* cfg = &config;
+  const models::ModelSpec* model = &spec;
+  sampler.RegisterProbe("gpu.step_rate", [cfg, model, num_gpus, global_batch] {
+    const SimTime step = GpuStepTime(*cfg, *model, num_gpus, global_batch).step();
+    return step > 0 ? static_cast<double>(global_batch) / step : 0.0;
+  });
 }
 
 }  // namespace tpu::gpu

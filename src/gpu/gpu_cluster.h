@@ -19,6 +19,10 @@
 #include "common/units.h"
 #include "models/model_specs.h"
 
+namespace tpu::telemetry {
+class TimeSeriesSampler;
+}  // namespace tpu::telemetry
+
 namespace tpu::gpu {
 
 struct GpuSystemConfig {
@@ -60,6 +64,18 @@ GpuStepBreakdown GpuStepTime(const GpuSystemConfig& config,
 double GpuEndToEndMinutes(const GpuSystemConfig& config,
                           const models::ModelSpec& spec, int num_gpus,
                           std::int64_t global_batch);
+
+// Wires the GPU backend's first time-series signal into the telemetry
+// sampler: probe "gpu.step_rate" — examples/second of a data-parallel run
+// at the given shape, global_batch / GpuStepTime(...).step(). The value is
+// a pure function of the (constant) inputs, so the series is flat today;
+// the probe exists so the cross-backend planner work samples TPU and GPU
+// backends through one pipeline. Config and spec must outlive the
+// sampler's run.
+void RegisterGpuStepRateProbe(telemetry::TimeSeriesSampler& sampler,
+                              const GpuSystemConfig& config,
+                              const models::ModelSpec& spec, int num_gpus,
+                              std::int64_t global_batch);
 
 // Published MLPerf v0.7 NVIDIA results (approximate, minutes).
 struct PublishedGpuResult {

@@ -377,4 +377,27 @@ double Network::MaxLinkUtilization() const {
   return max_busy / elapsed;
 }
 
+double Network::LinkUtilization(topo::LinkId link) const {
+  TPU_CHECK_GE(link, 0);
+  TPU_CHECK_LT(link, static_cast<topo::LinkId>(link_resources_.size()));
+  const SimTime elapsed = simulator_->now();
+  if (elapsed <= 0.0) return 0.0;
+  return link_resources_[link].busy_time() / elapsed;
+}
+
+SimTime Network::LinkBacklogSeconds(topo::LinkId link) const {
+  TPU_CHECK_GE(link, 0);
+  TPU_CHECK_LT(link, static_cast<topo::LinkId>(link_resources_.size()));
+  return std::max(0.0, link_resources_[link].free_at() - simulator_->now());
+}
+
+SimTime Network::MaxLinkBacklogSeconds() const {
+  const SimTime now = simulator_->now();
+  SimTime max_backlog = 0.0;
+  for (const auto& resource : link_resources_) {
+    max_backlog = std::max(max_backlog, resource.free_at() - now);
+  }
+  return max_backlog;
+}
+
 }  // namespace tpu::net

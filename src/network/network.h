@@ -95,6 +95,14 @@ class Network {
   double MaxLinkUtilization() const;
   // Mean utilization across links that carried any traffic.
   double MeanActiveLinkUtilization() const;
+  // One link's utilization (busy fraction of elapsed sim time).
+  double LinkUtilization(topo::LinkId link) const;
+  // Seconds of already-reserved service still queued on one link: how far
+  // into the simulated future the link is committed right now. Zero when
+  // idle. This is the "queue occupancy" signal the telemetry sampler reads.
+  SimTime LinkBacklogSeconds(topo::LinkId link) const;
+  // Max backlog over all links.
+  SimTime MaxLinkBacklogSeconds() const;
 
   // Failure/straggler injection: adds one degradation source multiplying the
   // serialization time of one directed link (a flaky optical link, a

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "common/check.h"
+#include "telemetry/sampler.h"
+#include "telemetry/telemetry.h"
 #include "trace/trace.h"
 
 namespace tpu::recover {
@@ -60,6 +62,12 @@ void RecoveryController::TraceInstant(const char* name) {
   if (trace::TraceRecorder* recorder = trace::CurrentTrace()) {
     recorder->Instant(recorder->Track("system", "recovery"), name,
                       sim_->now());
+  }
+}
+
+void RecoveryController::TelemetryEvent(const char* name, const char* detail) {
+  if (telemetry::TelemetrySession* session = telemetry::CurrentTelemetry()) {
+    session->RecordEvent(sim_->now(), name, detail == nullptr ? "" : detail);
   }
 }
 
@@ -240,6 +248,7 @@ void RecoveryController::OnHeal(const fault::FaultEvent& event) {
         ++stall_seq_;  // invalidates the pending detection event
         stall_start_ = -1;
         TraceInstant("recovery: stall healed before detection");
+        TelemetryEvent("recovery.micro_stall");
         SetRate(estimate, LabelFor(estimate));
       }
       return;
@@ -264,6 +273,7 @@ void RecoveryController::EnterStall() {
   attempt_ = 0;
   exhausted_ = 0;
   TraceInstant("recovery: stall");
+  TelemetryEvent("recovery.stall");
   sim_->Schedule(config_.detection_deadline,
                  [this, seq = stall_seq_] { OnDetect(seq); });
 }
@@ -272,6 +282,10 @@ void RecoveryController::OnDetect(std::uint64_t stall_seq) {
   if (done_ || stall_seq != stall_seq_ || mode_ != Mode::kStalled) return;
   ++timeline_.detections;
   TraceInstant("recovery: detected");
+  // Recorded at exactly the detection instant; the telemetry session's
+  // dump_on_events default makes this the flight recorder's trigger, so the
+  // dump's triggered_at *is* the fault's detection time.
+  TelemetryEvent("recovery.detected");
   Decide();
 }
 
@@ -373,6 +387,23 @@ void RecoveryController::Decide() {
     const std::string name =
         std::string("recovery: select ") + StrategyName(pending_.strategy);
     TraceInstant(name.c_str());
+  }
+  if (telemetry::TelemetrySession* session = telemetry::CurrentTelemetry()) {
+    // Attribute the anomaly to the concrete links the diagnosis blames —
+    // the same links the critical-path report ranks — so the open watchdog
+    // firings carry the offending interval's suspect set.
+    std::vector<int> suspects;
+    suspects.reserve(diagnosis.health.failed.size() +
+                     diagnosis.health.degraded.size());
+    for (const topo::LinkId link : diagnosis.health.failed) {
+      suspects.push_back(static_cast<int>(link));
+    }
+    for (const auto& [link, factor] : diagnosis.health.degraded) {
+      suspects.push_back(static_cast<int>(link));
+    }
+    session->NoteSuspectLinks(suspects);
+    session->RecordEvent(sim_->now(), "recovery.select",
+                         StrategyName(pending_.strategy));
   }
 
   ++decision_seq_;
@@ -546,7 +577,23 @@ void RecoveryController::CompleteDecision(SimTime step_after) {
   ++decision_seq_;  // retires any still-scheduled probe / verify event
   stall_start_ = -1;
   TraceInstant("recovery: resumed");
+  TelemetryEvent("recovery.resumed", LabelFor(step_after));
   SetRate(step_after, LabelFor(step_after));
+}
+
+void RegisterRecoveryProbes(telemetry::TimeSeriesSampler& sampler,
+                            const RecoveryController& controller) {
+  const RecoveryController* ctl = &controller;
+  sampler.RegisterProbe("run.work_rate", [ctl] { return ctl->work_rate(); });
+  sampler.RegisterProbe("run.step_seconds",
+                        [ctl] { return ctl->step_seconds(); });
+  sampler.RegisterProbe("run.work_done", [ctl] { return ctl->work_done(); });
+  sampler.RegisterProbe("run.mode", [ctl] {
+    return static_cast<double>(ctl->mode_index());
+  });
+  sampler.RegisterProbe("run.active_faults", [ctl] {
+    return static_cast<double>(ctl->active_fault_count());
+  });
 }
 
 }  // namespace tpu::recover

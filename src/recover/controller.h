@@ -28,6 +28,10 @@
 #include "sim/simulator.h"
 #include "topology/topology.h"
 
+namespace tpu::telemetry {
+class TimeSeriesSampler;
+}  // namespace tpu::telemetry
+
 namespace tpu::recover {
 
 struct ControllerConfig {
@@ -61,6 +65,19 @@ class RecoveryController {
   // `horizon`; the timeline's `completed` flag says which. Call once.
   RecoveryTimeline Run(SimTime horizon);
 
+  // Instantaneous state for telemetry probes (RegisterRecoveryProbes) and
+  // the sampler's stop predicate. Safe to call at any simulated time.
+  double work_rate() const { return rate_; }
+  SimTime step_seconds() const { return step_seconds_; }
+  SimTime work_done() const { return work_done_; }
+  // 0 running, 1 stalled, 2 waiting (backoff probes), 3 executing.
+  int mode_index() const { return static_cast<int>(mode_); }
+  int active_fault_count() const {
+    return static_cast<int>(active_faults_.size());
+  }
+  bool finished() const { return done_; }
+  double healthy_rate() const { return RateFor(config_.pricer.healthy_step); }
+
  private:
   // Control state: kRunning accrues work; kStalled is the pre-detection
   // window (a heal here resolves the stall silently); kWaiting is the
@@ -93,6 +110,7 @@ class RecoveryController {
   double RateFor(SimTime step) const;
   const char* LabelFor(SimTime step) const;
   void TraceInstant(const char* name);
+  void TelemetryEvent(const char* name, const char* detail = nullptr);
 
   net::Network* network_;
   fault::FaultInjector* injector_;
@@ -126,5 +144,12 @@ class RecoveryController {
   topo::SubmeshRect rect_;
   SimTime shrunk_step_ = 0;
 };
+
+// Wires the controller's run-level signals into the sampler: run.work_rate
+// (feeds the goodput-SLO watchdog), run.step_seconds (feeds the step-time
+// regression watchdog; 0 while stalled), run.work_done, run.mode and
+// run.active_faults. The controller must outlive the sampler's run.
+void RegisterRecoveryProbes(telemetry::TimeSeriesSampler& sampler,
+                            const RecoveryController& controller);
 
 }  // namespace tpu::recover

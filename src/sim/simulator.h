@@ -53,10 +53,30 @@ class Simulator {
     const std::uint64_t seq = next_seq_++;
     queue_.Push(Event{when, seq, std::move(cb)});
     ++events_scheduled_;
-    if (queue_.size() > peak_queue_depth_) peak_queue_depth_ = queue_.size();
+    // Pending telemetry events share the queue but not the accounting: the
+    // work-event high-water mark must read the same with sampling on or off.
+    const std::size_t depth = queue_.size() - telemetry_seqs_.size();
+    if (depth > peak_queue_depth_) peak_queue_depth_ = depth;
     if (EventObserver* observer = CurrentEventObserver()) {
       observer->OnSchedule(seq, current_seq_, now_, when);
     }
+    return seq;
+  }
+
+  // Schedules a telemetry-class event (telemetry/sampler.h): it shares the
+  // clock and the (when, seq) total order with work events — so sampling
+  // reads a consistent instant of the simulation — but is excluded from the
+  // user-visible accounting (events_scheduled/processed, peak_queue_depth,
+  // callback-storage counters) and is invisible to any installed
+  // EventObserver, keeping critical-path DAGs and exported counters
+  // bit-identical with sampling on or off. Telemetry callbacks must only
+  // observe and (re)schedule further telemetry events, never work events.
+  std::uint64_t ScheduleTelemetryAt(SimTime when, Callback cb) {
+    TPU_CHECK_GE(when, now_);
+    const std::uint64_t seq = next_seq_++;
+    queue_.Push(Event{when, seq, std::move(cb)});
+    ++telemetry_events_scheduled_;
+    telemetry_seqs_.push_back(seq);  // seqs are monotonic: stays sorted
     return seq;
   }
 
@@ -92,6 +112,19 @@ class Simulator {
   std::uint64_t events_scheduled() const { return events_scheduled_; }
   // High-water mark of the pending-event queue.
   std::size_t peak_queue_depth() const { return peak_queue_depth_; }
+  // Pending work events right now (telemetry-class events excluded) — the
+  // quantity the telemetry sampler itself records as "sim.queue_depth".
+  std::size_t queue_depth() const {
+    return queue_.size() - telemetry_seqs_.size();
+  }
+  // Telemetry-class events, accounted separately from the user-visible
+  // events_scheduled()/events_processed() counters.
+  std::uint64_t telemetry_events_scheduled() const {
+    return telemetry_events_scheduled_;
+  }
+  std::uint64_t telemetry_events_processed() const {
+    return telemetry_events_processed_;
+  }
 
   // Event-core health: how callbacks were stored, and how the out-of-line
   // pool behaved over this simulator's lifetime (deltas against the owning
@@ -125,6 +158,16 @@ class Simulator {
     Event ev = queue_.PopTop();
     TPU_CHECK_GE(ev.when, now_);
     now_ = ev.when;
+    // Telemetry events advance the clock to their own timestamp (which never
+    // reorders work events — they only fire between work events at the same
+    // instant boundaries the queue's total order already defines) but touch
+    // none of the work-event accounting and stay invisible to observers.
+    // The emptiness check keeps the telemetry-off hot path at one branch.
+    if (!telemetry_seqs_.empty() && PopTelemetrySeq(ev.seq)) {
+      ++telemetry_events_processed_;
+      ev.cb();
+      return;
+    }
     ++events_processed_;
     if (EventObserver* observer = CurrentEventObserver()) {
       // Events scheduled by ev.cb() are causally ev's children; current_seq_
@@ -139,6 +182,18 @@ class Simulator {
     }
   }
 
+  // True (and erases the entry) iff `seq` is a pending telemetry event.
+  // telemetry_seqs_ is sorted (seqs are assigned monotonically) and tiny —
+  // one self-rescheduling tick per sampler — so the lookup is a binary
+  // search over a handful of entries.
+  bool PopTelemetrySeq(std::uint64_t seq) {
+    auto it = std::lower_bound(telemetry_seqs_.begin(), telemetry_seqs_.end(),
+                               seq);
+    if (it == telemetry_seqs_.end() || *it != seq) return false;
+    telemetry_seqs_.erase(it);
+    return true;
+  }
+
   CalendarQueue<Event> queue_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
@@ -148,6 +203,9 @@ class Simulator {
   std::size_t peak_queue_depth_ = 0;
   std::uint64_t callbacks_inline_ = 0;
   std::uint64_t callbacks_pooled_ = 0;
+  std::vector<std::uint64_t> telemetry_seqs_;
+  std::uint64_t telemetry_events_scheduled_ = 0;
+  std::uint64_t telemetry_events_processed_ = 0;
   CallbackPool::Stats pool_baseline_;
 };
 

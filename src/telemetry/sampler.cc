@@ -1,0 +1,61 @@
+#include "telemetry/sampler.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace tpu::telemetry {
+
+TimeSeriesSampler::TimeSeriesSampler(sim::Simulator* simulator,
+                                     TelemetrySession* session)
+    : simulator_(simulator), session_(session) {
+  TPU_CHECK(simulator_ != nullptr);
+  TPU_CHECK(session_ != nullptr);
+}
+
+void TimeSeriesSampler::RegisterProbe(std::string name,
+                                      std::function<double()> probe) {
+  TPU_CHECK(!started_);
+  TPU_CHECK(probe != nullptr);
+  columns_.push_back(std::move(name));
+  probes_.push_back(std::move(probe));
+}
+
+void TimeSeriesSampler::Start() {
+  TPU_CHECK(!started_);
+  TPU_CHECK(!probes_.empty());
+  started_ = true;
+  values_.resize(probes_.size());
+  simulator_->ScheduleTelemetryAt(simulator_->now(), [this] { Tick(); });
+}
+
+void TimeSeriesSampler::Tick() {
+  if (stop_ && stop_()) return;
+  const SimTime t = simulator_->now();
+  for (std::size_t i = 0; i < probes_.size(); ++i) values_[i] = probes_[i]();
+  ++ticks_;
+  session_->RecordTick(t, columns_, values_);
+  PublishCounters(t);
+  simulator_->ScheduleTelemetryAt(t + session_->config().sample_interval,
+                                  [this] { Tick(); });
+}
+
+void TimeSeriesSampler::PublishCounters(SimTime t) {
+  trace::TraceRecorder* recorder = trace::CurrentTrace();
+  if (recorder == nullptr) return;
+  if (recorder != counter_recorder_) {
+    counter_recorder_ = recorder;
+    counters_.clear();
+    const trace::TraceRecorder::TrackId track =
+        recorder->Track("system", "telemetry");
+    counters_.reserve(columns_.size());
+    for (const std::string& name : columns_) {
+      counters_.push_back(recorder->Counter(track, name));
+    }
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    recorder->CounterValue(counters_[i], t, values_[i]);
+  }
+}
+
+}  // namespace tpu::telemetry

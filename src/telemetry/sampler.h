@@ -1,0 +1,74 @@
+// TimeSeriesSampler: drives probe sampling on the simulated clock.
+//
+// Probes are plain closures returning a double ("current queue depth",
+// "max link utilization", "current work rate"); the sampler evaluates all
+// of them every config().sample_interval simulated seconds via a
+// self-rescheduling telemetry-class event (Simulator::ScheduleTelemetryAt),
+// feeding one consistent row per tick into the TelemetrySession and — when
+// a trace recorder is installed — into Perfetto counter tracks under the
+// "system"/"telemetry" track.
+//
+// Telemetry-class events share the DES total order with work events but are
+// excluded from user-visible counters and invisible to EventObservers, so a
+// sampled run's work timestamps are bit-identical to an unsampled one.
+//
+// The sampler never stops on its own (a self-rescheduling event would keep
+// a RunUntil-driven simulation alive to its horizon); callers running to
+// quiescence set a stop predicate — e.g. the recovery controller's
+// finished() — checked at each tick before sampling or rescheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "telemetry/telemetry.h"
+#include "trace/trace.h"
+
+namespace tpu::telemetry {
+
+class TimeSeriesSampler {
+ public:
+  // Both must outlive the sampler; the session supplies the cadence.
+  TimeSeriesSampler(sim::Simulator* simulator, TelemetrySession* session);
+
+  // Registration order is the column order of every tick row. Register all
+  // probes before Start().
+  void RegisterProbe(std::string name, std::function<double()> probe);
+
+  // Checked at each tick: once true, the sampler stops sampling and
+  // rescheduling (the pending tick becomes a no-op).
+  void set_stop_predicate(std::function<bool()> stop) {
+    stop_ = std::move(stop);
+  }
+
+  // Samples immediately at the simulator's current time, then every
+  // sample_interval. Call once.
+  void Start();
+
+  std::uint64_t ticks() const { return ticks_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+ private:
+  void Tick();
+  void PublishCounters(SimTime t);
+
+  sim::Simulator* simulator_;
+  TelemetrySession* session_;
+  std::vector<std::string> columns_;
+  std::vector<std::function<double()>> probes_;
+  std::vector<double> values_;
+  std::function<bool()> stop_;
+  bool started_ = false;
+  std::uint64_t ticks_ = 0;
+
+  // Perfetto counters, cached per recorder pointer (recorders are swapped,
+  // never mutated — same pattern as net::Network's track cache).
+  trace::TraceRecorder* counter_recorder_ = nullptr;
+  std::vector<trace::TraceRecorder::CounterId> counters_;
+};
+
+}  // namespace tpu::telemetry

@@ -65,10 +65,22 @@ double MetricHistogram::Percentile(double p) const {
   TPU_CHECK_GE(p, 0.0);
   TPU_CHECK_LE(p, 1.0);
   if (count_ == 0) return 0;
+  // Degenerate distributions are exact, not interpolated: a single-sample
+  // or all-equal histogram reports the sample itself at every percentile.
+  if (min_ == max_) return min_;
+  if (p <= 0.0) return min_;
+  if (p >= 1.0) return max_;
   // Rank of the requested percentile among the sorted samples (1-based).
   const double rank = p * static_cast<double>(count_);
   double seen = static_cast<double>(zero_or_less_);
-  if (rank <= seen) return std::clamp(0.0, min_, max_);
+  if (rank <= seen) {
+    // Inside the <=0 block: interpolate from the observed minimum up to the
+    // block's top (zero, or the observed max when even that is negative) —
+    // clamp(0, min, max) here would misreport all-negative histograms.
+    const double high = std::min(0.0, max_);
+    const double fraction = rank / seen;
+    return std::clamp(min_ + fraction * (high - min_), min_, max_);
+  }
   for (const auto& [bucket, bucket_count] : buckets_) {
     const double next = seen + static_cast<double>(bucket_count);
     if (rank <= next) {
@@ -82,6 +94,15 @@ double MetricHistogram::Percentile(double p) const {
     seen = next;
   }
   return max_;
+}
+
+void MetricHistogram::Reset() {
+  buckets_.clear();
+  zero_or_less_ = 0;
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
 }
 
 MetricCounter& MetricsRegistry::Counter(const std::string& name) {
@@ -168,6 +189,15 @@ void ExportSimulatorMetrics(const sim::Simulator& simulator,
       .Add(static_cast<std::int64_t>(simulator.pool_oversize_allocs()));
   metrics.Counter(prefix + ".queue_refills")
       .Add(static_cast<std::int64_t>(simulator.queue_refills()));
+  // Telemetry-class events are accounted separately and only when present,
+  // so a telemetry-off run's metrics dump is byte-identical to before the
+  // telemetry subsystem existed.
+  if (simulator.telemetry_events_scheduled() > 0) {
+    metrics.Counter(prefix + ".telemetry_events_scheduled")
+        .Add(static_cast<std::int64_t>(simulator.telemetry_events_scheduled()));
+    metrics.Counter(prefix + ".telemetry_events_processed")
+        .Add(static_cast<std::int64_t>(simulator.telemetry_events_processed()));
+  }
 }
 
 }  // namespace tpu::trace

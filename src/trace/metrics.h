@@ -26,6 +26,7 @@ namespace tpu::trace {
 struct MetricCounter {
   std::int64_t value = 0;
   void Add(std::int64_t delta) { value += delta; }
+  void Reset() { value = 0; }
 };
 
 // Last-written instantaneous value (utilization, queue depth, ...).
@@ -34,6 +35,7 @@ struct MetricGauge {
   void Set(double v) { value = v; }
   // Keeps the larger of the current and new value (peak tracking).
   void Max(double v) { value = value > v ? value : v; }
+  void Reset() { value = 0; }
 };
 
 // Log-scale histogram: geometric buckets (ratio 2^(1/8), ~9% wide) over the
@@ -52,6 +54,8 @@ class MetricHistogram {
   double mean() const { return count_ > 0 ? sum_ / count_ : 0; }
   // p in [0, 1]; Percentile(0.5) is the median.
   double Percentile(double p) const;
+  // Forgets every recorded sample (back to the empty-histogram state).
+  void Reset();
 
  private:
   static int BucketOf(double value);
@@ -77,6 +81,15 @@ class MetricsRegistry {
 
   bool empty() const {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // Drops every metric. Call between sweep repetitions when one registry is
+  // reused (e.g. a thread_local registry surviving across sweep points) so
+  // samples from one repetition cannot leak into the next one's dump.
+  void Reset() {
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
   }
 
   // Human-readable table: one metric per line, histograms with

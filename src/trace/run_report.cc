@@ -191,6 +191,10 @@ void RunReport::WriteJson(std::ostream& out) const {
     json += ",\"recovery\":";
     json += recovery_json;
   }
+  if (!telemetry_json.empty()) {
+    json += ",\"telemetry\":";
+    json += telemetry_json;
+  }
   json += ",\"metrics\":";
   json += metrics_json.empty() ? "{}" : metrics_json;
   json += "}\n";

@@ -53,6 +53,11 @@ struct RunReport {
   // non-recovery reports stay byte-identical.
   std::string recovery_json;
 
+  // Raw TelemetrySession JSON (telemetry::TelemetrySession::ToJson()); empty
+  // when no telemetry session observed the run, and then omitted entirely so
+  // untelemetered reports stay byte-identical.
+  std::string telemetry_json;
+
   // {"label":...,"phases":[...],"plan":{...},"critical_path":{...},
   //  "metrics":{...}} — deterministic for identical runs.
   void WriteJson(std::ostream& out) const;

@@ -13,6 +13,7 @@
 #include "network/network.h"
 #include "plan/planner.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 #include "topology/topology.h"
 #include "trace/critical_path.h"
 #include "trace/run_report.h"
@@ -180,6 +181,78 @@ TEST(Determinism, ParallelSweepCsvIsByteIdenticalToSerial) {
   std::ostringstream b;
   core::WriteSweepCsv(a, serial);
   core::WriteSweepCsv(b, threaded);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+// The MTBF-seeded recovery scenario the timeline-determinism test above
+// uses, optionally under a telemetry session.
+core::FaultTolerantResult RunSeededRecovery(
+    telemetry::TelemetrySession* session, int search_threads) {
+  core::FaultToleranceOptions options;
+  options.recovery.enabled = true;
+  options.recovery.search_threads = search_threads;
+  options.checkpoint_interval = Seconds(600);
+  options.faults.seed = 7;
+  options.faults.link_flap_mtbf = Seconds(2e4);
+  options.faults.slow_host_mtbf = Seconds(4e4);
+  options.faults.slow_host_degrade_factor = 4096.0;
+  options.faults.slow_host_mean_duration = Seconds(30);
+  telemetry::ScopedTelemetry install(session);
+  core::MultipodSystem system(topo::TopologyConfig::Slice(16, 8, true));
+  return system.SimulateTrainingUnderFailures(
+      models::Benchmark::kDlrm, 65536, 1, frameworks::Framework::kTensorFlow,
+      options);
+}
+
+TEST(Determinism, TelemetrySamplingLeavesEveryWorkTimestampBitIdentical) {
+  // Telemetry-class events share the DES queue but must not perturb a
+  // single simulated timestamp: the sampled run's timeline serializes
+  // byte-identically to the unsampled one.
+  const auto off = RunSeededRecovery(nullptr, 1);
+  telemetry::TelemetrySession session;
+  const auto on = RunSeededRecovery(&session, 1);
+  ASSERT_TRUE(on.recovered);
+  EXPECT_GT(session.runs().size(), 0u);
+  EXPECT_EQ(off.timeline.ToJson(), on.timeline.ToJson());
+  EXPECT_EQ(off.expected_seconds, on.expected_seconds);
+  EXPECT_EQ(off.goodput, on.goodput);
+}
+
+TEST(Determinism, TelemetryJsonIsByteIdenticalAcrossRepeatsAndThreads) {
+  // The whole telemetry artifact — series, watchdog firings, flight dumps —
+  // must be byte-identical across repeated runs and across planner thread
+  // counts (the sampler rides the simulator clock, not wall clock).
+  const auto capture = [](int search_threads) {
+    telemetry::TelemetrySession session;
+    RunSeededRecovery(&session, search_threads);
+    return session.ToJson();
+  };
+  const std::string first = capture(1);
+  const std::string repeat = capture(1);
+  const std::string threaded = capture(4);
+  EXPECT_EQ(first, repeat);
+  EXPECT_EQ(first, threaded);
+}
+
+TEST(Determinism, SweepUnderTelemetryFallsBackToSerialByteIdentically) {
+  // With a session installed the sweep runner must drop to one thread (the
+  // session is thread-local) and still produce the exact serial CSV.
+  core::SweepConfig config;
+  config.benchmark = models::Benchmark::kResNet50;
+  config.chip_counts = {16, 32, 64};
+  config.batch_for = [](int chips) { return 256LL * chips; };
+  config.threads = 1;
+  const auto serial = core::RunScalingSweep(config);
+
+  telemetry::TelemetrySession session;
+  telemetry::ScopedTelemetry install(&session);
+  config.threads = 4;
+  const auto observed = core::RunScalingSweep(config);
+  ASSERT_EQ(serial.size(), observed.size());
+  std::ostringstream a;
+  std::ostringstream b;
+  core::WriteSweepCsv(a, serial);
+  core::WriteSweepCsv(b, observed);
   EXPECT_EQ(a.str(), b.str());
 }
 

@@ -2,6 +2,9 @@
 
 #include "gpu/gpu_cluster.h"
 #include "models/model_specs.h"
+#include "sim/simulator.h"
+#include "telemetry/sampler.h"
+#include "telemetry/telemetry.h"
 #include "trace/metrics.h"
 
 namespace tpu::gpu {
@@ -104,6 +107,55 @@ TEST(GpuMetrics, DisabledRegistryMeansNoInstrumentation) {
     EXPECT_EQ(observed.embedding_comm, plain.embedding_comm);
   }
   EXPECT_FALSE(registry.empty());
+}
+
+TEST(GpuTelemetry, StepRateProbeSamplesExamplesPerSecond) {
+  const models::ModelSpec& dlrm =
+      models::GetModelSpec(models::Benchmark::kDlrm);
+  const GpuSystemConfig config = GpuSystemConfig::A100();
+  const std::int64_t global_batch = 65536;
+  const auto step = GpuStepTime(config, dlrm, 64, global_batch);
+
+  telemetry::TelemetryConfig tconfig;
+  tconfig.sample_interval = 1.0;
+  telemetry::TelemetrySession session(tconfig);
+  session.BeginRun("gpu");
+  sim::Simulator simulator;
+  simulator.Schedule(3.0, [] {});
+  telemetry::TimeSeriesSampler sampler(&simulator, &session);
+  RegisterGpuStepRateProbe(sampler, config, dlrm, 64, global_batch);
+  sampler.Start();
+  simulator.RunUntil(3.0);
+  session.CommitRun();
+
+  const telemetry::RunData& run = session.runs()[0];
+  ASSERT_EQ(run.series.size(), 1u);
+  EXPECT_EQ(run.series[0].name(), "gpu.step_rate");
+  const auto points = run.series[0].Points();
+  ASSERT_FALSE(points.empty());
+  EXPECT_DOUBLE_EQ(points[0].mean,
+                   static_cast<double>(global_batch) / step.step());
+}
+
+TEST(GpuTelemetry, StepTimeIsBitIdenticalWhenSamplingIsOff) {
+  // Registering the probe without a live sampler run — or with telemetry
+  // disabled entirely — must not perturb the estimate.
+  const models::ModelSpec& resnet =
+      models::GetModelSpec(models::Benchmark::kResNet50);
+  ASSERT_EQ(telemetry::CurrentTelemetry(), nullptr);
+  const auto plain = GpuStepTime(GpuSystemConfig::A100(), resnet, 256, 16384);
+  telemetry::TelemetrySession session;
+  {
+    telemetry::ScopedTelemetry install(&session);
+    const auto observed =
+        GpuStepTime(GpuSystemConfig::A100(), resnet, 256, 16384);
+    EXPECT_EQ(observed.compute, plain.compute);
+    EXPECT_EQ(observed.allreduce, plain.allreduce);
+    EXPECT_EQ(observed.embedding_comm, plain.embedding_comm);
+    EXPECT_EQ(observed.step(), plain.step());
+  }
+  // GpuStepTime itself never writes telemetry: no runs were opened.
+  EXPECT_TRUE(session.runs().empty());
 }
 
 TEST(PublishedResults, AllBenchmarksHaveEntries) {

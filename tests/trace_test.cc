@@ -265,6 +265,82 @@ TEST(MetricHistogram, BucketBoundaryValuesClampToExactMinAndMax) {
   }
 }
 
+TEST(MetricHistogram, SingleNegativeSampleIsExactAtEveryPercentile) {
+  // Regression: negative samples live in the below-all-buckets block, whose
+  // interpolation used to report 0 (the block's upper edge) even when every
+  // sample was the same negative value.
+  trace::MetricHistogram histogram;
+  histogram.Record(-7.5);
+  for (const double p : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.Percentile(p), -7.5) << "p=" << p;
+  }
+}
+
+TEST(MetricHistogram, AllEqualNegativeSamplesCollapseEveryPercentile) {
+  trace::MetricHistogram histogram;
+  for (int i = 0; i < 9; ++i) histogram.Record(-3.0);
+  for (const double p : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.Percentile(p), -3.0) << "p=" << p;
+  }
+}
+
+TEST(MetricHistogram, NegativeBlockInterpolatesWithinMinMaxEnvelope) {
+  trace::MetricHistogram histogram;
+  histogram.Record(-10.0);
+  histogram.Record(-2.0);
+  histogram.Record(5.0);
+  // Percentiles inside the non-positive block interpolate between min and
+  // 0, never escaping [min, max].
+  for (double p = 0.0; p <= 1.0; p += 0.1) {
+    EXPECT_GE(histogram.Percentile(p), -10.0) << "p=" << p;
+    EXPECT_LE(histogram.Percentile(p), 5.0) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.0), -10.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(1.0), 5.0);
+}
+
+TEST(MetricHistogram, ResetRestoresTheEmptyState) {
+  trace::MetricHistogram histogram;
+  histogram.Record(-1.0);
+  histogram.Record(42.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.5), 0.0);
+  // A fresh recording after Reset behaves exactly like a new histogram.
+  histogram.Record(3.0);
+  EXPECT_EQ(histogram.count(), 1);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.5), 3.0);
+}
+
+TEST(MetricsRegistry, ResetClearsAllInstrumentsForReuse) {
+  // Sweep drivers reuse one registry across repetitions; the second
+  // repetition must see a clean slate, not sums over both.
+  trace::MetricsRegistry registry;
+  std::ostringstream first, second;
+  for (int repetition = 0; repetition < 2; ++repetition) {
+    registry.Reset();
+    registry.Counter("sweep.points").Add(3);
+    registry.Gauge("sweep.batch").Set(1024);
+    registry.Histogram("sweep.step_ms").Record(7.25);
+    std::ostringstream& out = (repetition == 0 ? first : second);
+    registry.WriteJson(out);
+  }
+  EXPECT_FALSE(registry.empty());
+  EXPECT_EQ(first.str(), second.str());
+
+  registry.Reset();
+  EXPECT_TRUE(registry.empty());
+  std::ostringstream emptied;
+  registry.WriteJson(emptied);
+  trace::MetricsRegistry fresh;
+  std::ostringstream never_used;
+  fresh.WriteJson(never_used);
+  EXPECT_EQ(emptied.str(), never_used.str());
+}
+
 TEST(MetricsRegistry, RegistriesAreThreadLocal) {
   trace::MetricsRegistry registry;
   trace::ScopedMetrics install(&registry);

@@ -1,0 +1,262 @@
+#!/usr/bin/env python3
+"""Render (and validate) a telemetry session JSON dump.
+
+Input is the file written by --telemetry[=PATH] on any bench binary (or by
+TelemetrySession::WriteJson directly): {"config":{...},"runs":[...]} with
+per-run downsampled series, structured events, watchdog firings and flight-
+recorder dumps — all on the simulated clock.
+
+  tools/telemetry_report.py telemetry.json             human-readable report
+  tools/telemetry_report.py telemetry.json --validate  schema check only
+  tools/telemetry_report.py telemetry.json --run recovery/dead-link
+
+--validate walks the whole document against the schema DESIGN.md §14
+documents and exits 2 on the first violation; CI runs it on the smoke
+telemetry artifact before the baseline diff, so a malformed producer fails
+with "where and why", not a wall of deep-equality noise.
+
+Exit status: 0 ok, 1 usage, 2 validation failure or unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+SPARK = " .:-=+*#%@"
+
+
+def fail(path, message):
+    print(f"telemetry schema violation at {path}: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def expect(doc, path, key, kinds, required=True):
+    if key not in doc:
+        if required:
+            fail(path, f"missing key {key!r}")
+        return None
+    value = doc[key]
+    # bool is an int subclass in Python; don't let true/false pass as numbers.
+    wants_bool = kinds is bool or (isinstance(kinds, tuple) and bool in kinds)
+    if not isinstance(value, kinds) or (isinstance(value, bool) and
+                                        not wants_bool):
+        names = (
+            kinds.__name__
+            if not isinstance(kinds, tuple)
+            else "/".join(k.__name__ for k in kinds)
+        )
+        fail(f"{path}.{key}", f"expected {names}, got {type(value).__name__}")
+    return value
+
+
+NUM = (int, float)
+
+
+def validate_point(point, path):
+    for key in ("t", "mean", "min", "max"):
+        expect(point, path, key, NUM)
+    count = expect(point, path, "count", int)
+    if count < 1:
+        fail(f"{path}.count", f"must be >= 1, got {count}")
+    if point["min"] > point["max"]:
+        fail(path, f"min {point['min']} > max {point['max']}")
+
+
+def validate_series(series, path):
+    expect(series, path, "name", str)
+    stride = expect(series, path, "stride", int)
+    if stride < 1:
+        fail(f"{path}.stride", f"must be >= 1, got {stride}")
+    samples = expect(series, path, "samples", int)
+    points = expect(series, path, "points", list)
+    for i, point in enumerate(points):
+        validate_point(point, f"{path}.points[{i}]")
+    counted = sum(p["count"] for p in points)
+    if counted != samples:
+        fail(f"{path}", f"point counts sum to {counted}, samples say {samples}")
+    times = [p["t"] for p in points]
+    if times != sorted(times):
+        fail(f"{path}.points", "timestamps not monotonically non-decreasing")
+
+
+def validate_event(event, path):
+    expect(event, path, "t", NUM)
+    expect(event, path, "name", str)
+    expect(event, path, "detail", str, required=False)
+
+
+def validate_firing(firing, path):
+    watchdog = expect(firing, path, "watchdog", str)
+    if watchdog not in ("step_regression", "slo_burn", "link_collapse"):
+        fail(f"{path}.watchdog", f"unknown watchdog {watchdog!r}")
+    expect(firing, path, "series", str)
+    first = expect(firing, path, "first_breach", NUM)
+    last = expect(firing, path, "last_breach", NUM)
+    if last < first:
+        fail(path, f"last_breach {last} < first_breach {first}")
+    if expect(firing, path, "breaches", int) < 1:
+        fail(f"{path}.breaches", "must be >= 1")
+    expect(firing, path, "baseline", NUM)
+    expect(firing, path, "worst", NUM)
+    expect(firing, path, "open", bool)
+    for i, link in enumerate(expect(firing, path, "suspect_links", list)):
+        if not isinstance(link, int):
+            fail(f"{path}.suspect_links[{i}]", "expected int link id")
+
+
+def validate_dump(dump, path):
+    expect(dump, path, "trigger", str)
+    expect(dump, path, "triggered_at", NUM)
+    columns = expect(dump, path, "columns", list)
+    times = expect(dump, path, "times", list)
+    rows = expect(dump, path, "rows", list)
+    if len(times) != len(rows):
+        fail(path, f"{len(times)} times but {len(rows)} rows")
+    for i, row in enumerate(rows):
+        if len(row) != len(columns):
+            fail(f"{path}.rows[{i}]",
+                 f"{len(row)} values for {len(columns)} columns")
+    if list(times) != sorted(times):
+        fail(f"{path}.times", "not monotonically non-decreasing")
+    for i, event in enumerate(expect(dump, path, "events", list)):
+        validate_event(event, f"{path}.events[{i}]")
+
+
+def validate_run(run, path):
+    expect(run, path, "label", str)
+    expect(run, path, "started_at", NUM)
+    expect(run, path, "last_sample_at", NUM)
+    ticks = expect(run, path, "ticks", int)
+    series = expect(run, path, "series", list)
+    for i, entry in enumerate(series):
+        validate_series(entry, f"{path}.series[{i}]")
+        if entry["samples"] != ticks:
+            fail(f"{path}.series[{i}]",
+                 f"{entry['samples']} samples over {ticks} ticks")
+    for i, event in enumerate(expect(run, path, "events", list)):
+        validate_event(event, f"{path}.events[{i}]")
+    for i, firing in enumerate(expect(run, path, "watchdogs", list)):
+        validate_firing(firing, f"{path}.watchdogs[{i}]")
+    for i, dump in enumerate(expect(run, path, "dumps", list)):
+        validate_dump(dump, f"{path}.dumps[{i}]")
+    for i, link in enumerate(expect(run, path, "suspect_links", list)):
+        if not isinstance(link, int):
+            fail(f"{path}.suspect_links[{i}]", "expected int link id")
+
+
+def validate(doc):
+    config = expect(doc, "$", "config", dict)
+    expect(config, "$.config", "sample_interval", NUM)
+    if expect(config, "$.config", "series_capacity", int) < 2:
+        fail("$.config.series_capacity", "must be >= 2")
+    expect(config, "$.config", "watchdog", dict)
+    runs = expect(doc, "$", "runs", list)
+    for i, run in enumerate(runs):
+        validate_run(run, f"$.runs[{i}]")
+    return len(runs)
+
+
+def sparkline(points, width=48):
+    """ASCII density strip of a series' per-point means."""
+    means = [p["mean"] for p in points][:width]
+    if not means:
+        return "(empty)"
+    lo, hi = min(means), max(means)
+    if hi <= lo:
+        return SPARK[len(SPARK) // 2] * len(means)
+    scale = (len(SPARK) - 1) / (hi - lo)
+    return "".join(SPARK[int((m - lo) * scale)] for m in means)
+
+
+def render_run(run):
+    ticks = run["ticks"]
+    span = run["last_sample_at"] - run["started_at"]
+    print(f"\nrun {run['label']}: {ticks} ticks over {span:.1f}s "
+          f"(t={run['started_at']:.1f}..{run['last_sample_at']:.1f})")
+
+    if run["series"]:
+        print("  series:")
+        width = max(len(s["name"]) for s in run["series"])
+        for series in run["series"]:
+            points = series["points"]
+            means = [p["mean"] for p in points]
+            lo = min((p["min"] for p in points), default=0.0)
+            hi = max((p["max"] for p in points), default=0.0)
+            mean = sum(m * p["count"] for m, p in zip(means, points)) / max(
+                1, sum(p["count"] for p in points)
+            )
+            print(f"    {series['name']:<{width}}  min {lo:>12.4g}  "
+                  f"mean {mean:>12.4g}  max {hi:>12.4g}  "
+                  f"stride {series['stride']:<3} |{sparkline(points)}|")
+
+    if run["events"]:
+        print(f"  events ({len(run['events'])}"
+              + (f", {run['dropped_events']} dropped" if run.get(
+                  "dropped_events") else "") + "):")
+        for event in run["events"]:
+            detail = f"  [{event['detail']}]" if event.get("detail") else ""
+            print(f"    t={event['t']:>9.2f}  {event['name']}{detail}")
+
+    if run["watchdogs"]:
+        print("  watchdog firings:")
+        for firing in run["watchdogs"]:
+            state = "OPEN" if firing["open"] else "closed"
+            links = (f"  suspect_links={firing['suspect_links']}"
+                     if firing["suspect_links"] else "")
+            print(f"    {firing['watchdog']:<16} on {firing['series']}: "
+                  f"t={firing['first_breach']:.2f}..{firing['last_breach']:.2f}"
+                  f" ({firing['breaches']} breaches, baseline "
+                  f"{firing['baseline']:.4g}, worst {firing['worst']:.4g}, "
+                  f"{state}){links}")
+
+    if run["dumps"]:
+        print("  flight-recorder dumps:")
+        for dump in run["dumps"]:
+            print(f"    trigger {dump['trigger']!r} at "
+                  f"t={dump['triggered_at']:.2f}: {len(dump['times'])} "
+                  f"high-res rows x {len(dump['columns'])} columns, "
+                  f"{len(dump['events'])} ring events")
+            if dump["times"]:
+                print(f"      window t={dump['times'][0]:.2f}.."
+                      f"{dump['times'][-1]:.2f}")
+    if run.get("dropped_dumps"):
+        print(f"  ({run['dropped_dumps']} dump trigger(s) dropped by "
+              "max_dumps cap)")
+    if run["suspect_links"]:
+        print(f"  suspect links (recovery diagnosis): {run['suspect_links']}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check only, no rendering")
+    parser.add_argument("--run", help="render only runs whose label "
+                        "contains this substring")
+    args = parser.parse_args()
+
+    try:
+        with open(args.path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"error: cannot read {args.path}: {err}", file=sys.stderr)
+        return 2
+
+    num_runs = validate(doc)
+    if args.validate:
+        print(f"{args.path}: telemetry schema ok ({num_runs} runs)")
+        return 0
+
+    config = doc["config"]
+    print(f"telemetry session: {num_runs} runs, sampled every "
+          f"{config['sample_interval']}s, series capacity "
+          f"{config['series_capacity']}")
+    for run in doc["runs"]:
+        if args.run and args.run not in run["label"]:
+            continue
+        render_run(run)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
