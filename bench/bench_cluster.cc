@@ -1,0 +1,202 @@
+// Multi-tenant cluster scheduling under churn on a shared 2x(8x8) machine.
+//
+// The paper dedicates the whole multipod to one training run; this bench
+// shares it. Four experiments, all on the simulated clock only:
+//   1. Carving-policy sweep — the same seeded Poisson job stream through
+//      first-fit, best-fit and backfill carving: queue-wait percentiles,
+//      utilization, fragmentation and aggregate goodput per policy.
+//   2. Arrival-rate sweep — offered load from light to saturating under
+//      backfill: where the queue starts to build and goodput rolls off.
+//   3. Shared-fault scenario — one dead cross-pod cable under two
+//      co-located 16x4 jobs. Both diagnose the SAME injected fault through
+//      their own slices; one (shrink floor 25%) shrinks in place, the other
+//      (floor 75%) checkpoint-restarts back into the queue and is readmitted
+//      shrunk-to-fit beside the break.
+//   4. Trace replay — with --jobs-trace=PATH the committed job trace
+//      (docs/cluster_jobs.trace) replays instead of a generated stream.
+//
+// --json=PATH writes the simulated results (wall-clock-free) as JSON;
+// identical builds produce byte-identical files, which
+// tools/bench_compare.py diffs against bench/baselines/
+// bench_cluster_smoke.json as the determinism gate for the whole
+// cluster subsystem.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/cluster.h"
+#include "cluster/workload.h"
+#include "topology/topology.h"
+
+namespace {
+
+// %.17g: doubles round-trip exactly, so the JSON is a bit-exactness probe.
+std::string Num(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void SummaryRow(const char* label, const tpu::cluster::ClusterReport& report) {
+  tpu::bench::Row("%-14s | %3d/%-3d %8.0f %8.0f %6.1f%% %6.1f%% %4d %4d %7.3f",
+                  label, report.jobs_completed, report.jobs_submitted,
+                  report.wait_p50, report.wait_p99, 100.0 * report.utilization,
+                  100.0 * report.fragmentation_mean, report.preemptions,
+                  report.shrinks + report.requeues, report.goodput);
+}
+
+void SummaryJson(std::ostream& out, const char* key, const char* value,
+                 const tpu::cluster::ClusterReport& report) {
+  out << "{\"" << key << "\":\"" << value
+      << "\",\"jobs_completed\":" << report.jobs_completed
+      << ",\"jobs_submitted\":" << report.jobs_submitted
+      << ",\"wait_p50\":" << Num(report.wait_p50)
+      << ",\"wait_p99\":" << Num(report.wait_p99)
+      << ",\"utilization\":" << Num(report.utilization)
+      << ",\"fragmentation_mean\":" << Num(report.fragmentation_mean)
+      << ",\"preemptions\":" << report.preemptions
+      << ",\"shrinks\":" << report.shrinks
+      << ",\"requeues\":" << report.requeues
+      << ",\"goodput\":" << Num(report.goodput) << "}";
+}
+
+}  // namespace
+
+int main() {
+  using namespace tpu;
+  bench::Header("Multi-tenant cluster scheduler — carving and churn",
+                "fleet extension of the Section 5 dedicated-machine "
+                "assumption");
+  const bool smoke = bench::Smoke();
+
+  cluster::ClusterConfig base;  // 2x(8x8), backfill, MTBF faults off
+  base.horizon = smoke ? Hours(0.5) : Hours(2);
+
+  cluster::WorkloadConfig workload;
+  workload.horizon = base.horizon;
+  workload.mean_interarrival = Seconds(120);
+  workload.max_jobs = smoke ? 10 : 0;
+
+  std::ostringstream json_policies, json_rates, json_trace;
+  std::string cable_json;
+
+  // 1. Carving-policy sweep on one seeded stream.
+  bench::Row("%-14s | %-7s %8s %8s %7s %7s %4s %4s %7s", "policy", "done",
+             "wait_p50", "wait_p99", "util", "frag", "pre", "s+rq", "goodput");
+  for (const cluster::CarvePolicy policy :
+       {cluster::CarvePolicy::kFirstFit, cluster::CarvePolicy::kBestFit,
+        cluster::CarvePolicy::kBackfill}) {
+    cluster::ClusterConfig config = base;
+    config.policy = policy;
+    config.label = std::string("policy-") + cluster::CarvePolicyName(policy);
+    cluster::ClusterSimulation sim(
+        config, cluster::GeneratePoissonWorkload(workload));
+    const cluster::ClusterReport report = sim.Run();
+    SummaryRow(cluster::CarvePolicyName(policy), report);
+    if (json_policies.tellp() > 0) json_policies << ",";
+    SummaryJson(json_policies, "policy", cluster::CarvePolicyName(policy),
+                report);
+  }
+
+  // 2. Arrival-rate sweep under backfill: offered load vs. queueing.
+  std::printf("\n");
+  bench::Row("%-14s | %-7s %8s %8s %7s %7s %4s %4s %7s", "interarrival",
+             "done", "wait_p50", "wait_p99", "util", "frag", "pre", "s+rq",
+             "goodput");
+  const std::vector<SimTime> interarrivals =
+      smoke ? std::vector<SimTime>{Seconds(240), Seconds(60)}
+            : std::vector<SimTime>{Seconds(480), Seconds(240), Seconds(120),
+                                   Seconds(60), Seconds(30)};
+  for (const SimTime interarrival : interarrivals) {
+    cluster::WorkloadConfig load = workload;
+    load.mean_interarrival = interarrival;
+    cluster::ClusterConfig config = base;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0fs", interarrival);
+    config.label = std::string("rate-") + label;
+    cluster::ClusterSimulation sim(config,
+                                   cluster::GeneratePoissonWorkload(load));
+    const cluster::ClusterReport report = sim.Run();
+    SummaryRow(label, report);
+    if (json_rates.tellp() > 0) json_rates << ",";
+    SummaryJson(json_rates, "interarrival", label, report);
+  }
+
+  // 3. The shared-fault scenario: one cable, two tenants, two different
+  // recovery decisions off the same injected event.
+  {
+    cluster::ClusterConfig config = base;
+    config.label = "cable-death";
+    config.horizon = Hours(1);
+    std::vector<cluster::JobSpec> jobs(2);
+    jobs[0].id = 0;
+    jobs[0].name = "tenant-shrink";
+    jobs[0].arrival = 0;
+    jobs[0].size_x = 16;
+    jobs[0].size_y = 4;
+    jobs[0].steps = 4000;
+    jobs[1] = jobs[0];
+    jobs[1].id = 1;
+    jobs[1].name = "tenant-restart";
+    jobs[1].arrival = Seconds(1);
+    // Tenant 1 refuses to run below 75% of its chips, so the shrink that
+    // saves tenant 0 is off the table and it restarts into the queue.
+    recover::RecoveryPolicy strict = config.recovery;
+    strict.min_shrink_fraction = 0.75;
+    config.job_recovery_overrides[1] = strict;
+
+    const topo::MeshTopology topo(config.topology);
+    config.scripted_faults =
+        cluster::CrossPodCableFault(topo, 7, Seconds(50));
+
+    cluster::ClusterSimulation sim(config, jobs);
+    const cluster::ClusterReport report = sim.Run();
+    std::printf("\ncable death at x=7/8, t=50s (%d directed links):\n",
+                report.faults_injected);
+    for (const cluster::JobOutcome& job : report.jobs) {
+      const char* strategy =
+          job.decisions.empty()
+              ? "(none)"
+              : recover::StrategyName(job.decisions.front().strategy);
+      bench::Row(
+          "  %-14s | faults_seen=%d decision=%-18s shrinks=%d restarts=%d "
+          "steps=%.0f/%.0f %s",
+          job.spec.name.c_str(), job.faults_observed, strategy, job.shrinks,
+          job.restarts, job.steps_done, job.spec.steps, job.state);
+    }
+    cable_json = report.ToJson();
+  }
+
+  // 4. Trace replay (only with --jobs-trace=PATH; CI passes the committed
+  // docs/cluster_jobs.trace so the baseline covers the parser end to end).
+  if (!bench::JobsTracePath().empty()) {
+    std::vector<cluster::JobSpec> jobs;
+    std::string error;
+    if (!cluster::LoadJobsTrace(bench::JobsTracePath(), &jobs, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    cluster::ClusterConfig config = base;
+    config.label = "trace";
+    cluster::ClusterSimulation sim(config, jobs);
+    const cluster::ClusterReport report = sim.Run();
+    std::printf("\ntrace replay (%s):\n", bench::JobsTracePath().c_str());
+    bench::Row("%-14s | %-7s %8s %8s %7s %7s %4s %4s %7s", "trace", "done",
+               "wait_p50", "wait_p99", "util", "frag", "pre", "s+rq",
+               "goodput");
+    SummaryRow("replay", report);
+    SummaryJson(json_trace, "trace", "replay", report);
+  }
+
+  if (!bench::JsonPath().empty()) {
+    std::ofstream out(bench::JsonPath());
+    out << "{\"policies\":[" << json_policies.str() << "],\"arrival_sweep\":["
+        << json_rates.str() << "],\"cable\":" << cable_json << ",\"trace\":[";
+    out << json_trace.str() << "]}\n";
+    std::fprintf(stderr, "json -> %s\n", bench::JsonPath().c_str());
+  }
+  return 0;
+}

@@ -21,6 +21,9 @@
 //                                             watchdogs + flight recorder);
 //                                             JSON to PATH, default
 //                                             telemetry.json
+//   --jobs-trace=PATH (TPU_BENCH_JOBS_TRACE)  replay a cluster job trace
+//                                             (benches opt in via
+//                                             bench::JobsTracePath())
 // Header() installs the process-global recorder/registry; files are written
 // by an atexit hook so benches need no per-bench changes.
 #pragma once
@@ -48,6 +51,7 @@ struct ObservabilityEnv {
   std::string metrics_path;  // empty with metrics_on: text dump to stderr
   std::string json_path;
   std::string telemetry_path;
+  std::string jobs_trace_path;
   bool metrics_on = false;
   bool telemetry_on = false;
   bool smoke = false;
@@ -130,6 +134,7 @@ inline void InitObservability() {
                        arg.rfind("--metrics=", 0) == 0 || arg == "--smoke" ||
                        arg.rfind("--json=", 0) == 0 || arg == "--telemetry" ||
                        arg.rfind("--telemetry=", 0) == 0 ||
+                       arg.rfind("--jobs-trace=", 0) == 0 ||
                        arg.rfind("--benchmark", 0) == 0;
     if (!known) {
       std::fprintf(stderr,
@@ -141,7 +146,9 @@ inline void InitObservability() {
                    "  --smoke         reduced-scale run\n"
                    "  --json=PATH     machine-readable results to PATH\n"
                    "  --telemetry[=PATH]  continuous sampling + watchdogs + "
-                   "flight recorder, JSON to PATH\n",
+                   "flight recorder, JSON to PATH\n"
+                   "  --jobs-trace=PATH  replay a cluster job trace from "
+                   "PATH\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -163,6 +170,9 @@ inline void InitObservability() {
     args.push_back(std::string(v) == "1" ? "--telemetry"
                                          : std::string("--telemetry=") + v);
   }
+  if (const char* v = std::getenv("TPU_BENCH_JOBS_TRACE")) {
+    args.push_back(std::string("--jobs-trace=") + v);
+  }
   for (const std::string& arg : args) {
     if (arg.rfind("--trace=", 0) == 0) {
       env.trace_path = arg.substr(8);
@@ -180,6 +190,8 @@ inline void InitObservability() {
     } else if (arg.rfind("--telemetry=", 0) == 0) {
       env.telemetry_on = true;
       env.telemetry_path = arg.substr(12);
+    } else if (arg.rfind("--jobs-trace=", 0) == 0) {
+      env.jobs_trace_path = arg.substr(13);
     }
   }
   if (env.telemetry_on && env.telemetry_path.empty()) {
@@ -214,6 +226,15 @@ inline bool Smoke() {
 inline const std::string& JsonPath() {
   internal::InitObservability();
   return internal::Env().json_path;
+}
+
+// Destination of --jobs-trace=PATH (or TPU_BENCH_JOBS_TRACE=PATH); empty
+// when the flag was not passed. Cluster benches replay the job stream from
+// this trace file (cluster::LoadJobsTrace) instead of their generated
+// Poisson workload.
+inline const std::string& JobsTracePath() {
+  internal::InitObservability();
+  return internal::Env().jobs_trace_path;
 }
 
 inline void Header(const std::string& title, const std::string& paper_ref) {

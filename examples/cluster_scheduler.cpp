@@ -1,0 +1,133 @@
+// Multi-tenant cluster walkthrough: a job stream carved onto two shared
+// 8x8 pods, then one dead cross-pod cable under two co-located tenants.
+//
+// Part 1 replays the committed job trace (docs/cluster_jobs.trace — the
+// same file bench_cluster --jobs-trace and the tests use) through the
+// backfill carving policy and prints the scheduler timeline: admissions,
+// priority preemption, shrink-to-fit readmission, queue waits.
+//
+// Part 2 is the shared-fault composition the subsystem exists for: two
+// 16x4 tenants split the machine, every directed link crossing the pod
+// boundary dies at t=50s, and BOTH tenants diagnose the SAME injected
+// fault through their own slice. Their RecoveryControllers price recovery
+// independently — the flexible tenant shrinks in place, the strict one
+// (shrink floor 75%) checkpoint-restarts back into the queue and is
+// readmitted shrunk-to-fit on one pod.
+//
+//   cmake -B build && cmake --build build
+//   ./build/examples/cluster_scheduler          # from the repo root
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/cluster.h"
+#include "cluster/workload.h"
+#include "recover/recovery.h"
+#include "topology/topology.h"
+
+namespace {
+
+// The committed example trace, relative to the repo root or the build dir.
+std::string FindJobsTrace() {
+  if (!tpu::bench::JobsTracePath().empty()) return tpu::bench::JobsTracePath();
+  for (const char* path :
+       {"docs/cluster_jobs.trace", "../docs/cluster_jobs.trace"}) {
+    if (std::FILE* f = std::fopen(path, "r")) {
+      std::fclose(f);
+      return path;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main() {
+  using namespace tpu;
+  bench::Init();
+
+  // Part 1: replay the committed trace.
+  const std::string trace_path = FindJobsTrace();
+  if (trace_path.empty()) {
+    std::fprintf(stderr,
+                 "docs/cluster_jobs.trace not found; run from the repo root "
+                 "or pass --jobs-trace=PATH\n");
+    return 1;
+  }
+  std::vector<cluster::JobSpec> jobs;
+  std::string error;
+  if (!cluster::LoadJobsTrace(trace_path, &jobs, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  cluster::ClusterConfig config;  // 2x(8x8), backfill
+  config.horizon = Hours(1);
+  cluster::ClusterSimulation replay(config, jobs);
+  const cluster::ClusterReport report = replay.Run();
+
+  std::printf("replaying %s on a %s cluster (%s carving)\n",
+              trace_path.c_str(), report.topology.c_str(),
+              report.policy.c_str());
+  for (const cluster::SchedulerEvent& event : report.events) {
+    std::printf("  t=%7.1f s  %-8s job %d", event.t, event.kind, event.job);
+    if (!event.rect.empty()) {
+      std::printf("  at (%d,%d) %dx%d", event.rect.x0, event.rect.y0,
+                  event.rect.size_x, event.rect.size_y);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "  %d/%d jobs done, wait p50 %.0f s / p99 %.0f s, utilization %.1f%%, "
+      "fragmentation %.1f%%, goodput %.3f\n\n",
+      report.jobs_completed, report.jobs_submitted, report.wait_p50,
+      report.wait_p99, 100.0 * report.utilization,
+      100.0 * report.fragmentation_mean, report.goodput);
+
+  // Part 2: one cable, two tenants, two independent recovery decisions.
+  cluster::ClusterConfig shared;
+  shared.horizon = Hours(1);
+  shared.label = "cable-death";
+  std::vector<cluster::JobSpec> tenants(2);
+  tenants[0].id = 0;
+  tenants[0].name = "tenant-shrink";
+  tenants[0].arrival = 0;
+  tenants[0].size_x = 16;
+  tenants[0].size_y = 4;
+  tenants[0].steps = 4000;
+  tenants[1] = tenants[0];
+  tenants[1].id = 1;
+  tenants[1].name = "tenant-restart";
+  tenants[1].arrival = Seconds(1);
+  recover::RecoveryPolicy strict = shared.recovery;
+  strict.min_shrink_fraction = 0.75;
+  shared.job_recovery_overrides[1] = strict;
+
+  const topo::MeshTopology cluster_topo(shared.topology);
+  shared.scripted_faults =
+      cluster::CrossPodCableFault(cluster_topo, 7, Seconds(50));
+
+  cluster::ClusterSimulation sim(shared, tenants);
+  const cluster::ClusterReport outcome = sim.Run();
+  std::printf("cross-pod cable death at x=7/8, t=50 s (%d directed links):\n",
+              outcome.faults_injected);
+  for (const cluster::JobOutcome& job : outcome.jobs) {
+    std::printf("  %s: observed %d fault events\n", job.spec.name.c_str(),
+                job.faults_observed);
+    for (const recover::RecoveryDecision& decision : job.decisions) {
+      std::printf("    t=%7.1f s  %-18s (attempt %d, %d failed links)\n",
+                  decision.decided_at,
+                  recover::StrategyName(decision.strategy), decision.attempt,
+                  decision.failed_links);
+    }
+    std::printf(
+        "    -> %s: %d shrink(s), %d restart(s), %.0f/%.0f steps, last slice "
+        "(%d,%d) %dx%d\n",
+        job.state, job.shrinks, job.restarts, job.steps_done, job.spec.steps,
+        job.last_rect.x0, job.last_rect.y0, job.last_rect.size_x,
+        job.last_rect.size_y);
+  }
+  std::printf("  cluster goodput under the fault: %.3f\n", outcome.goodput);
+  return 0;
+}

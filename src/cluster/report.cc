@@ -1,0 +1,203 @@
+#include "cluster/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace tpu::cluster {
+namespace {
+
+void AppendNum(std::string* out, const char* key, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "\"%s\":%.12g", key, value);
+  *out += buffer;
+}
+
+void AppendInt(std::string* out, const char* key, long long value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "\"%s\":%lld", key, value);
+  *out += buffer;
+}
+
+void AppendStr(std::string* out, const char* key, const std::string& value) {
+  *out += '"';
+  *out += key;
+  *out += "\":\"";
+  *out += value;  // all emitted strings are identifier-safe
+  *out += '"';
+}
+
+void AppendRect(std::string* out, const char* key,
+                const topo::SubmeshRect& rect) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "\"%s\":[%d,%d,%d,%d]", key, rect.x0,
+                rect.y0, rect.size_x, rect.size_y);
+  *out += buffer;
+}
+
+}  // namespace
+
+double NearestRankPercentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(values.size()));
+  const std::size_t index = static_cast<std::size_t>(
+      std::clamp<double>(rank - 1, 0, static_cast<double>(values.size() - 1)));
+  return values[index];
+}
+
+std::string ClusterReport::ToJson() const {
+  std::string out = "{";
+  AppendStr(&out, "policy", policy);
+  out += ',';
+  AppendStr(&out, "topology", topology);
+  out += ',';
+  AppendNum(&out, "horizon", horizon);
+  out += ',';
+  AppendNum(&out, "elapsed", elapsed);
+  out += ',';
+  AppendInt(&out, "jobs_submitted", jobs_submitted);
+  out += ',';
+  AppendInt(&out, "jobs_completed", jobs_completed);
+  out += ',';
+  AppendInt(&out, "jobs_running_at_end", jobs_running_at_end);
+  out += ',';
+  AppendInt(&out, "jobs_queued_at_end", jobs_queued_at_end);
+  out += ',';
+  AppendInt(&out, "faults_injected", faults_injected);
+  out += ',';
+  AppendNum(&out, "wait_p50", wait_p50);
+  out += ',';
+  AppendNum(&out, "wait_p99", wait_p99);
+  out += ',';
+  AppendNum(&out, "utilization", utilization);
+  out += ',';
+  AppendNum(&out, "fragmentation_mean", fragmentation_mean);
+  out += ',';
+  AppendNum(&out, "fragmentation_max", fragmentation_max);
+  out += ',';
+  AppendInt(&out, "preemptions", preemptions);
+  out += ',';
+  AppendInt(&out, "migrations", migrations);
+  out += ',';
+  AppendInt(&out, "shrinks", shrinks);
+  out += ',';
+  AppendInt(&out, "requeues", requeues);
+  out += ',';
+  AppendNum(&out, "goodput", goodput);
+  out += ",\"jobs\":[";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobOutcome& job = jobs[i];
+    if (i > 0) out += ',';
+    out += '{';
+    AppendInt(&out, "id", job.spec.id);
+    out += ',';
+    AppendStr(&out, "name", job.spec.name);
+    out += ',';
+    AppendStr(&out, "state", job.state);
+    out += ',';
+    AppendNum(&out, "arrival", job.spec.arrival);
+    out += ',';
+    AppendInt(&out, "size_x", job.spec.size_x);
+    out += ',';
+    AppendInt(&out, "size_y", job.spec.size_y);
+    out += ',';
+    AppendNum(&out, "steps", job.spec.steps);
+    out += ',';
+    AppendInt(&out, "priority", job.spec.priority);
+    out += ',';
+    AppendStr(&out, "benchmark", BenchmarkToken(job.spec.benchmark));
+    out += ',';
+    AppendInt(&out, "admissions", job.admissions);
+    out += ',';
+    AppendInt(&out, "preemptions", job.preemptions);
+    out += ',';
+    AppendInt(&out, "migrations", job.migrations);
+    out += ',';
+    AppendInt(&out, "shrinks", job.shrinks);
+    out += ',';
+    AppendInt(&out, "restarts", job.restarts);
+    out += ',';
+    AppendInt(&out, "faults_observed", job.faults_observed);
+    out += ',';
+    AppendNum(&out, "first_admitted_at", job.first_admitted_at);
+    out += ',';
+    AppendNum(&out, "finished_at", job.finished_at);
+    out += ',';
+    AppendNum(&out, "wait_seconds", job.wait_seconds);
+    out += ',';
+    AppendNum(&out, "steps_done", job.steps_done);
+    out += ',';
+    AppendNum(&out, "ideal_seconds", job.ideal_seconds);
+    out += ',';
+    AppendNum(&out, "lost_work_seconds", job.lost_work_seconds);
+    out += ',';
+    AppendNum(&out, "stalled_seconds", job.stalled_seconds);
+    out += ',';
+    AppendRect(&out, "last_rect", job.last_rect);
+    out += ",\"decisions\":[";
+    for (std::size_t d = 0; d < job.decisions.size(); ++d) {
+      const recover::RecoveryDecision& decision = job.decisions[d];
+      if (d > 0) out += ',';
+      out += '{';
+      AppendNum(&out, "decided_at", decision.decided_at);
+      out += ',';
+      AppendStr(&out, "strategy", recover::StrategyName(decision.strategy));
+      out += ',';
+      AppendInt(&out, "attempt", decision.attempt);
+      out += ',';
+      AppendInt(&out, "transient_only", decision.transient_only ? 1 : 0);
+      out += ',';
+      AppendInt(&out, "dead_chips", decision.dead_chips);
+      out += ',';
+      AppendInt(&out, "failed_links", decision.failed_links);
+      out += ',';
+      AppendInt(&out, "degraded_links", decision.degraded_links);
+      out += ',';
+      AppendNum(&out, "resumed_at", decision.resumed_at);
+      out += ',';
+      AppendInt(&out, "verified", decision.verified ? 1 : 0);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "],\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SchedulerEvent& event = events[i];
+    if (i > 0) out += ',';
+    out += '{';
+    AppendNum(&out, "t", event.t);
+    out += ',';
+    AppendStr(&out, "kind", event.kind);
+    out += ',';
+    AppendInt(&out, "job", event.job);
+    out += ',';
+    AppendRect(&out, "rect", event.rect);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void ClusterReport::ExportMetrics(trace::MetricsRegistry& metrics) const {
+  metrics.Counter("cluster.jobs.submitted").Add(jobs_submitted);
+  metrics.Counter("cluster.jobs.completed").Add(jobs_completed);
+  metrics.Counter("cluster.preemptions").Add(preemptions);
+  metrics.Counter("cluster.migrations").Add(migrations);
+  metrics.Counter("cluster.shrinks").Add(shrinks);
+  metrics.Counter("cluster.requeues").Add(requeues);
+  metrics.Counter("cluster.faults.injected").Add(faults_injected);
+  metrics.Gauge("cluster.wait.p50_seconds").Set(wait_p50);
+  metrics.Gauge("cluster.wait.p99_seconds").Set(wait_p99);
+  metrics.Gauge("cluster.utilization").Set(utilization);
+  metrics.Gauge("cluster.fragmentation.mean").Set(fragmentation_mean);
+  metrics.Gauge("cluster.fragmentation.max").Set(fragmentation_max);
+  metrics.Gauge("cluster.goodput").Set(goodput);
+  for (const JobOutcome& job : jobs) {
+    metrics.Histogram("cluster.job.wait_seconds").Record(job.wait_seconds);
+  }
+}
+
+}  // namespace tpu::cluster

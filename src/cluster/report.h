@@ -1,0 +1,100 @@
+// The deterministic cluster-run report: per-job outcomes, the scheduler
+// event log, and the fleet-level aggregates (wait percentiles, utilization,
+// fragmentation, preemption counts, goodput under churn).
+//
+// Every value is read off the simulated clock — no wall time, no
+// randomness beyond the seeded inputs — so ToJson() is byte-identical
+// across repeats and planner thread counts, and the committed bench
+// baseline can be diffed with deep equality.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/workload.h"
+#include "common/units.h"
+#include "recover/recovery.h"
+#include "topology/topology.h"
+#include "trace/metrics.h"
+
+namespace tpu::cluster {
+
+// One entry of the compact cluster timeline. Kinds: submit, admit, resume,
+// finish, preempt, requeue, shrink, migrate, stop.
+struct SchedulerEvent {
+  SimTime t = 0;
+  const char* kind = "";
+  int job = -1;
+  topo::SubmeshRect rect;  // meaningful for admit / shrink / migrate
+};
+
+// Terminal per-job accounting, aggregated over every incarnation the job
+// ran (admissions, preemptions, migrations and elastic shrinks included).
+struct JobOutcome {
+  JobSpec spec;
+  // "completed", "running" (truncated by the horizon), "reserved"
+  // (mid-migration at the horizon) or "queued" (never left, or requeued and
+  // blocked).
+  const char* state = "queued";
+  int admissions = 0;
+  int preemptions = 0;
+  int migrations = 0;
+  int shrinks = 0;
+  int restarts = 0;
+  int faults_observed = 0;  // injector events touching (or crossing) a slice
+  SimTime first_admitted_at = -1;
+  SimTime finished_at = -1;
+  SimTime wait_seconds = 0;  // total time spent queued (all visits)
+  double steps_done = 0;
+  // Fault-free seconds the job's requested shape would have needed — the
+  // goodput numerator for completed jobs.
+  SimTime ideal_seconds = 0;
+  SimTime lost_work_seconds = 0;
+  SimTime stalled_seconds = 0;
+  topo::SubmeshRect last_rect;  // where it last ran (zero-area if never)
+  // Recovery decisions from every incarnation, in decision order.
+  std::vector<recover::RecoveryDecision> decisions;
+};
+
+struct ClusterReport {
+  std::string policy;    // CarvePolicyName of the run
+  std::string topology;  // e.g. "2x(8x8)"
+  SimTime horizon = 0;
+  SimTime elapsed = 0;  // last activity when all jobs completed, else horizon
+
+  int jobs_submitted = 0;
+  int jobs_completed = 0;
+  int jobs_running_at_end = 0;
+  int jobs_queued_at_end = 0;
+  int faults_injected = 0;
+
+  // Nearest-rank percentiles over every submitted job's total queued time.
+  SimTime wait_p50 = 0;
+  SimTime wait_p99 = 0;
+  // Allocated chip-seconds / (total chips x elapsed).
+  double utilization = 0;
+  // Time-weighted mean and max of the scheduler's fragmentation ratio.
+  double fragmentation_mean = 0;
+  double fragmentation_max = 0;
+  int preemptions = 0;
+  int migrations = 0;
+  int shrinks = 0;
+  int requeues = 0;
+  // Aggregate goodput under churn: sum of completed jobs' ideal fault-free
+  // seconds over the sum of their submission-to-finish spans. 1.0 with no
+  // queueing and no faults; 0 when nothing completed.
+  double goodput = 0;
+
+  std::vector<JobOutcome> jobs;      // ascending job id
+  std::vector<SchedulerEvent> events;  // chronological
+
+  // Stable JSON (%.12g doubles): aggregates, then jobs, then events.
+  std::string ToJson() const;
+  // Dumps cluster.* counters/gauges into `metrics`. Counters add; call once.
+  void ExportMetrics(trace::MetricsRegistry& metrics) const;
+};
+
+// Nearest-rank percentile of an unsorted sample (p in [0, 100]); 0 on empty.
+double NearestRankPercentile(std::vector<double> values, double p);
+
+}  // namespace tpu::cluster

@@ -1,0 +1,91 @@
+// Deterministic job streams for the multi-tenant cluster simulation.
+//
+// The paper trains one job on a dedicated multipod; a production fleet runs
+// a *stream* of heterogeneous jobs — small 4x4 fine-tunes next to pod-scale
+// MLPerf runs (the TPU-v3 MLPerf-0.6 study's mix) — onto shared pods. This
+// module produces that stream two ways, both bit-identically replayable:
+//   * a seeded Poisson process over a weighted shape mix (every sampled
+//     value comes from one seed-derived xoshiro stream, so the same
+//     WorkloadConfig always yields the same jobs), and
+//   * a line-oriented trace file, so a recorded or hand-written workload
+//     replays exactly (docs/cluster_jobs.trace is the committed example).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "models/model_specs.h"
+
+namespace tpu::cluster {
+
+// One job submission: a training run of `steps` steps on a requested
+// `size_x` x `size_y` slice. Work is denominated in steps (not seconds) so a
+// job preempted on one shape and readmitted on another carries its remaining
+// steps across; fractional steps appear after such a hand-off.
+struct JobSpec {
+  int id = 0;
+  std::string name;
+  SimTime arrival = 0;
+  int size_x = 4;
+  int size_y = 4;
+  double steps = 1000;
+  int priority = 0;  // higher preempts lower under the backfill policy
+  models::Benchmark benchmark = models::Benchmark::kResNet50;
+  std::int64_t global_batch = 4096;
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
+};
+
+// One entry of the Poisson mix: a slice shape + model, drawn with
+// probability weight / sum(weights), with a uniform step count in
+// [min_steps, max_steps].
+struct JobShape {
+  int size_x = 4;
+  int size_y = 4;
+  models::Benchmark benchmark = models::Benchmark::kResNet50;
+  std::int64_t global_batch = 4096;
+  double weight = 1.0;
+  int min_steps = 2000;
+  int max_steps = 8000;
+};
+
+struct WorkloadConfig {
+  std::uint64_t seed = 0;
+  // Mean inter-arrival time of the Poisson process.
+  SimTime mean_interarrival = Seconds(120);
+  // Jobs arrive in [0, horizon); generation also stops at max_jobs (when
+  // positive), whichever comes first.
+  SimTime horizon = Hours(2);
+  int max_jobs = 0;
+  // Priorities are uniform in [0, num_priorities).
+  int num_priorities = 3;
+  std::vector<JobShape> mix;  // empty -> DefaultJobMix()
+};
+
+// The default small/medium/large mix: mostly 4x4 ResNet fine-tunes, some
+// 8x8 BERT runs, an occasional 16x8 Transformer spanning a pod boundary on
+// a 2x(8x8) cluster.
+std::vector<JobShape> DefaultJobMix();
+
+// Samples the job stream. Pure function of the config — bit-identical
+// replay — with ids and names ("job-<id>") assigned in arrival order.
+std::vector<JobSpec> GeneratePoissonWorkload(const WorkloadConfig& config);
+
+// Trace format: one job per line,
+//   arrival_s size_x size_y steps priority benchmark global_batch name
+// with '#' comments and blank lines ignored. Benchmarks are named by
+// BenchmarkToken (resnet50, bert, transformer, ssd, maskrcnn, dlrm).
+bool ParseJobsTrace(std::istream& in, std::vector<JobSpec>* jobs,
+                    std::string* error);
+bool LoadJobsTrace(const std::string& path, std::vector<JobSpec>* jobs,
+                   std::string* error);
+void WriteJobsTrace(std::ostream& out, const std::vector<JobSpec>& jobs);
+
+const char* BenchmarkToken(models::Benchmark benchmark);
+bool ParseBenchmarkToken(const std::string& token,
+                         models::Benchmark* benchmark);
+
+}  // namespace tpu::cluster

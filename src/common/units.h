@@ -23,6 +23,8 @@ inline constexpr double kGiga = 1e9;
 inline constexpr double kTera = 1e12;
 
 constexpr SimTime Seconds(double s) { return s; }
+constexpr SimTime Minutes(double m) { return m * 60.0; }
+constexpr SimTime Hours(double h) { return h * 3600.0; }
 constexpr SimTime Millis(double ms) { return ms * 1e-3; }
 constexpr SimTime Micros(double us) { return us * 1e-6; }
 constexpr SimTime Nanos(double ns) { return ns * 1e-9; }

@@ -287,6 +287,49 @@ bool FaultInjector::AnyFaultActiveIn(SimTime begin, SimTime end) const {
   return false;
 }
 
+std::vector<topo::LinkId> FaultInjector::LinksOfEvent(
+    const FaultEvent& event) const {
+  switch (event.kind) {
+    case FaultKind::kChipFailure:
+      return LinksOfChip(event.chip);
+    case FaultKind::kLinkFlap:
+      return {event.link};
+    case FaultKind::kHostPreemption:
+    case FaultKind::kSlowHost:
+      return LinksOfHost(event.host);
+  }
+  return {};
+}
+
+bool FaultInjector::EventTouchesRect(const FaultEvent& event,
+                                     const topo::SubmeshRect& rect) const {
+  const topo::MeshTopology& topo = network_->topology();
+  if (event.kind == FaultKind::kChipFailure &&
+      rect.Contains(topo.CoordOf(event.chip))) {
+    return true;
+  }
+  for (const topo::LinkId id : LinksOfEvent(event)) {
+    const topo::Link& link = topo.links()[id];
+    if (rect.Contains(topo.CoordOf(link.from)) ||
+        rect.Contains(topo.CoordOf(link.to))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::AnyFaultActiveIn(SimTime begin, SimTime end,
+                                     const topo::SubmeshRect& rect) const {
+  for (const FaultEvent& event : injected_) {
+    const SimTime fault_end =
+        event.permanent() ? end : std::min(end, event.at + event.duration);
+    if (event.at < end && fault_end > begin && EventTouchesRect(event, rect)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 int FaultInjector::permanent_failures() const {
   int count = 0;
   for (const FaultEvent& event : injected_) {

@@ -122,6 +122,11 @@ class FaultInjector {
   // Ground truth for detector accounting: was any injected fault active
   // (i.e. its links still degraded/failed) during [begin, end)?
   bool AnyFaultActiveIn(SimTime begin, SimTime end) const;
+  // Rect-scoped variant: only faults observable from inside `rect` count. A
+  // per-job HealthMonitor on a carved slice uses this as its ground truth —
+  // faults entirely outside the slice are invisible to it.
+  bool AnyFaultActiveIn(SimTime begin, SimTime end,
+                        const topo::SubmeshRect& rect) const;
   int permanent_failures() const;
   // Injected events whose heal has not fired yet, per kind.
   int active_count(FaultKind kind) const {
@@ -131,6 +136,17 @@ class FaultInjector {
   // The directed links a chip-level or host-level fault touches.
   std::vector<topo::LinkId> LinksOfChip(topo::ChipId chip) const;
   std::vector<topo::LinkId> LinksOfHost(topo::HostId host) const;
+  // The directed links `event` fails or degrades when applied: the chip's
+  // links for kChipFailure, the single flapped link for kLinkFlap, and the
+  // host's chips' links for host-level faults.
+  std::vector<topo::LinkId> LinksOfEvent(const FaultEvent& event) const;
+  // True when the event's effect is observable from inside `rect`: a dead
+  // chip inside the rect, or any affected directed link with at least one
+  // endpoint inside. This deliberately includes faults that merely *cross*
+  // the rect boundary — a dead cross-pod cable is shared hardware, visible
+  // to every slice it borders at once.
+  bool EventTouchesRect(const FaultEvent& event,
+                        const topo::SubmeshRect& rect) const;
 
  private:
   void ScheduleHeal(const FaultEvent& event, std::vector<topo::LinkId> links);

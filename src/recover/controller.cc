@@ -28,17 +28,25 @@ RecoveryController::RecoveryController(net::Network* network,
   TPU_CHECK(config_.pricer.shrunk_step != nullptr);
 }
 
-RecoveryTimeline RecoveryController::Run(SimTime horizon) {
-  injector_->set_on_apply(
-      [this](const fault::FaultEvent& event) { OnFault(event); });
-  injector_->set_on_heal(
-      [this](const fault::FaultEvent& event) { OnHeal(event); });
+void RecoveryController::Begin() {
+  TPU_CHECK(!begun_);
+  begun_ = true;
+  if (config_.auto_subscribe) {
+    injector_->set_on_apply(
+        [this](const fault::FaultEvent& event) { OnFault(event); });
+    injector_->set_on_heal(
+        [this](const fault::FaultEvent& event) { OnHeal(event); });
+  }
   spares_left_ = config_.policy.spare_hosts;
   timeline_.total_work = config_.total_work;
   timeline_.base_seconds =
       config_.total_work / RateFor(config_.pricer.healthy_step);
   last_advance_ = interval_start_ = sim_->now();
   SetRate(config_.pricer.healthy_step, "healthy");
+}
+
+RecoveryTimeline RecoveryController::Run(SimTime horizon) {
+  Begin();
   sim_->RunUntil(sim_->now() + horizon,
                  sim::Simulator::DeadlinePolicy::kStopAtLastEvent);
   if (!done_) {
@@ -50,6 +58,27 @@ RecoveryTimeline RecoveryController::Run(SimTime horizon) {
     timeline_.completed = false;
   }
   return timeline_;
+}
+
+RecoveryTimeline RecoveryController::Stop() {
+  if (!done_) {
+    AdvanceWork();
+    CloseInterval();
+    timeline_.makespan = sim_->now();
+    timeline_.completed = false;
+    done_ = true;
+    // Retire every pending finish / detect / probe / verify callback.
+    ++rate_epoch_;
+    ++stall_seq_;
+    ++decision_seq_;
+  }
+  return timeline_;
+}
+
+plan::LinkHealthSet RecoveryController::ObserveHealth() const {
+  return config_.observe_health != nullptr
+             ? config_.observe_health()
+             : plan::LinkHealthSet::FromNetwork(*network_);
 }
 
 double RecoveryController::RateFor(SimTime step) const {
@@ -112,6 +141,7 @@ void RecoveryController::OnFinish(std::uint64_t rate_epoch) {
   done_ = true;
   timeline_.completed = true;
   timeline_.makespan = sim_->now();
+  if (config_.on_finished) config_.on_finished();
 }
 
 const char* RecoveryController::LabelFor(SimTime step) const {
@@ -121,15 +151,14 @@ const char* RecoveryController::LabelFor(SimTime step) const {
 }
 
 SimTime RecoveryController::CurrentStepEstimate() {
-  const plan::LinkHealthSet health =
-      plan::LinkHealthSet::FromNetwork(*network_);
+  const plan::LinkHealthSet health = ObserveHealth();
   switch (exec_mode_) {
     case ExecMode::kShrunk: {
       // The shrunk job only touches chips and interior links of the carved
       // rectangle. Faults outside are invisible; inside, degradations
       // multiply the step by their worst factor (a coarse but conservative
       // proxy) and anything failing a link or chip stalls it outright.
-      const topo::MeshTopology& topo = network_->topology();
+      const topo::MeshTopology& topo = mesh();
       double worst = 1.0;
       for (const fault::FaultEvent& event : active_faults_) {
         switch (event.kind) {
@@ -175,7 +204,7 @@ SimTime RecoveryController::CurrentStepEstimate() {
 }
 
 bool RecoveryController::RectClean(const topo::SubmeshRect& rect) const {
-  const topo::MeshTopology& topo = network_->topology();
+  const topo::MeshTopology& topo = mesh();
   for (const fault::FaultEvent& event : active_faults_) {
     switch (event.kind) {
       case fault::FaultKind::kChipFailure:
@@ -291,7 +320,7 @@ void RecoveryController::OnDetect(std::uint64_t stall_seq) {
 
 Diagnosis RecoveryController::Diagnose() const {
   Diagnosis diagnosis;
-  diagnosis.health = plan::LinkHealthSet::FromNetwork(*network_);
+  diagnosis.health = ObserveHealth();
   SimTime residual = 0;
   for (const fault::FaultEvent& event : active_faults_) {
     if (event.permanent()) {
@@ -339,7 +368,7 @@ Diagnosis RecoveryController::Diagnose() const {
 
 PricingContext RecoveryController::Context() {
   PricingContext context;
-  context.topo = &network_->topology();
+  context.topo = &mesh();
   context.policy = config_.policy;
   context.costs = config_.costs;
   context.pricer = &config_.pricer;
@@ -470,8 +499,7 @@ void RecoveryController::OnVerify(std::uint64_t decision_seq) {
     case Strategy::kWaitForHeal:
       break;  // wait resolves through probes, never a verify event
     case Strategy::kRouteAround: {
-      const plan::LinkHealthSet health =
-          plan::LinkHealthSet::FromNetwork(*network_);
+      const plan::LinkHealthSet health = ObserveHealth();
       if (health.healthy()) {
         // Everything healed while the replan ran; the original schedule is
         // fine again.
@@ -504,13 +532,14 @@ void RecoveryController::OnVerify(std::uint64_t decision_seq) {
       shrunk_step_ = pending_.step_after;
       exec_mode_ = ExecMode::kShrunk;
       CompleteDecision(shrunk_step_);
+      if (config_.on_shrunk) config_.on_shrunk(rect_);
       return;
     }
     case Strategy::kSpareSwapIn: {
       Rollback();
       // Replace every host owning a permanently lost chip: its links come
       // back (fresh hardware) and its faults leave the active set.
-      const topo::MeshTopology& topo = network_->topology();
+      const topo::MeshTopology& topo = mesh();
       std::vector<topo::HostId> hosts;
       for (const fault::FaultEvent& event : active_faults_) {
         if (!event.permanent()) continue;
@@ -554,13 +583,39 @@ void RecoveryController::OnVerify(std::uint64_t decision_seq) {
     case Strategy::kCheckpointRestart: {
       Rollback();
       ++timeline_.restarts;
+      if (config_.reschedule_on_restart) {
+        // Cluster semantics: the restart does not repair this slice — the
+        // job leaves the machine with its last checkpoint and the caller
+        // requeues the remaining work on whatever hardware is healthy.
+        RecoveryDecision& decision = timeline_.decisions.back();
+        decision.resumed_at = sim_->now();
+        decision.verified = true;
+        ++decision_seq_;
+        stall_start_ = -1;
+        AdvanceWork();
+        CloseInterval();
+        timeline_.makespan = sim_->now();
+        timeline_.completed = false;
+        done_ = true;
+        ++rate_epoch_;
+        ++stall_seq_;
+        TraceInstant("recovery: rescheduled");
+        TelemetryEvent("recovery.rescheduled");
+        if (config_.on_restart) config_.on_restart();
+        return;
+      }
       // A restart lands on replacement hardware: every link returns to its
       // configured parameters and no pre-restart fault survives. In-flight
       // heal events from the old incarnation release nothing (the network's
       // per-source bookkeeping makes them no-ops).
-      const std::size_t num_links = network_->topology().links().size();
+      const std::size_t num_links = mesh().links().size();
       for (std::size_t link = 0; link < num_links; ++link) {
-        network_->RestoreLink(static_cast<topo::LinkId>(link));
+        const topo::LinkId id = static_cast<topo::LinkId>(link);
+        if (config_.restore_link != nullptr) {
+          config_.restore_link(id);
+        } else {
+          network_->RestoreLink(id);
+        }
       }
       active_faults_.clear();
       exec_mode_ = ExecMode::kNormal;

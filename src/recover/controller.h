@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/units.h"
@@ -51,6 +52,39 @@ struct ControllerConfig {
   fault::FaultModelConfig faults;
   // Elastic-shrink carve quantum along X (the model-parallel group width).
   int x_granularity = 1;
+
+  // --- Cluster-mode extension points. The defaults reproduce the
+  //     single-job behaviour exactly; a cluster driver running many
+  //     controllers on one shared machine overrides them so each job
+  //     observes only its carved slice.
+
+  // Mesh the controller diagnoses and prices against; nullptr = the
+  // network's own topology. A cluster job passes its slice topology, so
+  // every chip / link / host id the controller handles is slice-local.
+  const topo::MeshTopology* mesh = nullptr;
+  // Link-health observation; null = LinkHealthSet::FromNetwork(network). A
+  // cluster job reads only its slice's interior links, translated to
+  // slice-local ids.
+  std::function<plan::LinkHealthSet()> observe_health;
+  // Restores one mesh-local link after an in-place restart; null = the
+  // network's RestoreLink.
+  std::function<void(topo::LinkId)> restore_link;
+  // When false the caller owns the injector's observer hooks and dispatches
+  // events via HandleFault / HandleHeal — required when several controllers
+  // share one injector.
+  bool auto_subscribe = true;
+  // Cluster semantics for kCheckpointRestart: instead of restoring links in
+  // place, the job leaves the machine — rollback to the last checkpoint,
+  // close the books (timeline.completed stays false) and fire on_restart so
+  // the caller can requeue the remaining work elsewhere.
+  bool reschedule_on_restart = false;
+  // Fired right after the work completes (cluster: free the slice).
+  std::function<void()> on_finished;
+  // Fired when an elastic shrink commits, with the carved mesh-local rect
+  // (cluster: shrink the allocation and free the complement).
+  std::function<void(const topo::SubmeshRect&)> on_shrunk;
+  // Fired when reschedule_on_restart sends the job back to the queue.
+  std::function<void()> on_restart;
 };
 
 class RecoveryController {
@@ -64,6 +98,20 @@ class RecoveryController {
   // Drives the simulator until the work completes or the clock passes
   // `horizon`; the timeline's `completed` flag says which. Call once.
   RecoveryTimeline Run(SimTime horizon);
+
+  // Externally driven mode (cluster): Begin() starts accruing work at the
+  // current simulated time without running the simulator — the caller owns
+  // the event loop and feeds this controller fault events. Call once.
+  void Begin();
+  // Dispatch one injector event to this controller (auto_subscribe=false).
+  void HandleFault(const fault::FaultEvent& event) { OnFault(event); }
+  void HandleHeal(const fault::FaultEvent& event) { OnHeal(event); }
+  // Stops an externally driven controller before its work completed —
+  // preemption, migration or horizon truncation. Closes the books at the
+  // current simulated time (completed stays false) and retires every
+  // pending callback; further events are ignored. Returns the timeline.
+  RecoveryTimeline Stop();
+  const RecoveryTimeline& timeline() const { return timeline_; }
 
   // Instantaneous state for telemetry probes (RegisterRecoveryProbes) and
   // the sampler's stop predicate. Safe to call at any simulated time.
@@ -96,6 +144,10 @@ class RecoveryController {
   // Mode-aware step estimate under the network's current link state.
   SimTime CurrentStepEstimate();
   Diagnosis Diagnose() const;
+  const topo::MeshTopology& mesh() const {
+    return config_.mesh != nullptr ? *config_.mesh : network_->topology();
+  }
+  plan::LinkHealthSet ObserveHealth() const;
   PricingContext Context();
   void Decide();
   void EnterStall();
@@ -127,6 +179,7 @@ class RecoveryController {
   SimTime work_done_ = 0;
   SimTime last_advance_ = 0;
   bool done_ = false;
+  bool begun_ = false;
 
   // Epoch guards: the simulator has no event cancellation, so every
   // scheduled callback carries the epoch it was issued under and no-ops if

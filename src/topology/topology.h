@@ -174,8 +174,9 @@ class MeshTopology {
 };
 
 // An axis-aligned rectangle of chips: [x0, x0+size_x) x [y0, y0+size_y).
-// The unit of elastic shrink — a carved sub-mesh is itself a legal Slice
-// topology (same X-then-Y dimension-ordered routes, folded rings).
+// The unit of elastic shrink and of cluster slice carving — a carved
+// sub-mesh is itself a legal Slice topology (same X-then-Y dimension-ordered
+// routes, folded rings).
 struct SubmeshRect {
   int x0 = 0;
   int y0 = 0;
@@ -183,8 +184,27 @@ struct SubmeshRect {
   int size_y = 0;
 
   int chips() const { return size_x * size_y; }
+  // Alias for chips(); zero when either extent is zero or negative.
+  int area() const { return size_x <= 0 || size_y <= 0 ? 0 : chips(); }
+  // Chip-sides on the rectangle boundary; zero for an empty rect.
+  int perimeter() const { return area() == 0 ? 0 : 2 * (size_x + size_y); }
+  bool empty() const { return area() == 0; }
   bool Contains(Coord c) const {
     return c.x >= x0 && c.x < x0 + size_x && c.y >= y0 && c.y < y0 + size_y;
+  }
+  // Every chip of `other` lies inside this rect. An empty `other` is
+  // contained nowhere (a zero-area allocation is meaningless).
+  bool Contains(const SubmeshRect& other) const {
+    return !other.empty() && other.x0 >= x0 && other.y0 >= y0 &&
+           other.x0 + other.size_x <= x0 + size_x &&
+           other.y0 + other.size_y <= y0 + size_y;
+  }
+  // The two rects share at least one chip. Empty rects intersect nothing —
+  // touching edges (adjacent slices) do not count as overlap.
+  bool Intersects(const SubmeshRect& other) const {
+    return !empty() && !other.empty() && x0 < other.x0 + other.size_x &&
+           other.x0 < x0 + size_x && y0 < other.y0 + other.size_y &&
+           other.y0 < y0 + size_y;
   }
   friend bool operator==(const SubmeshRect&, const SubmeshRect&) = default;
 };

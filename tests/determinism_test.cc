@@ -6,6 +6,8 @@
 
 #include <sstream>
 
+#include "cluster/cluster.h"
+#include "cluster/workload.h"
 #include "collectives/all_reduce.h"
 #include "core/multipod.h"
 #include "core/sweep.h"
@@ -254,6 +256,53 @@ TEST(Determinism, SweepUnderTelemetryFallsBackToSerialByteIdentically) {
   core::WriteSweepCsv(a, serial);
   core::WriteSweepCsv(b, observed);
   EXPECT_EQ(a.str(), b.str());
+}
+
+// One seeded cluster run: Poisson stream + MTBF faults + a scripted
+// cross-pod cable death, telemetry optionally installed, planner searches
+// at `search_threads`.
+std::string SeededClusterReportJson(int search_threads,
+                                    telemetry::TelemetrySession* session) {
+  cluster::ClusterConfig config;
+  config.horizon = Hours(0.5);
+  config.recovery.search_threads = search_threads;
+  config.faults.seed = 13;
+  config.faults.link_flap_mtbf = Seconds(4e4);
+  config.faults.slow_host_mtbf = Seconds(8e4);
+  const topo::MeshTopology topo(config.topology);
+  config.scripted_faults = cluster::CrossPodCableFault(topo, 7, Seconds(120));
+
+  cluster::WorkloadConfig workload;
+  workload.seed = 5;
+  workload.horizon = config.horizon;
+  workload.max_jobs = 8;
+
+  telemetry::ScopedTelemetry install(session);
+  cluster::ClusterSimulation sim(config,
+                                 cluster::GeneratePoissonWorkload(workload));
+  return sim.Run().ToJson();
+}
+
+TEST(Determinism, ClusterReportIsByteIdenticalAcrossRepeats) {
+  // The full cluster timeline — every admission, preemption, fault
+  // delivery, recovery decision and the aggregate metrics — serializes
+  // byte-identically on repeat runs, with or without telemetry sampling.
+  const std::string first = SeededClusterReportJson(1, nullptr);
+  const std::string repeat = SeededClusterReportJson(1, nullptr);
+  EXPECT_EQ(first, repeat);
+
+  telemetry::TelemetrySession session;
+  const std::string sampled = SeededClusterReportJson(1, &session);
+  EXPECT_GT(session.runs().size(), 0u);
+  EXPECT_EQ(first, sampled);
+}
+
+TEST(Determinism, ClusterReportIsThreadCountInvariant) {
+  // Per-job planner searches (the recovery pricers) may fan out across
+  // threads; the cluster timeline must not move by a ULP.
+  const std::string serial = SeededClusterReportJson(1, nullptr);
+  const std::string threaded = SeededClusterReportJson(4, nullptr);
+  EXPECT_EQ(serial, threaded);
 }
 
 }  // namespace

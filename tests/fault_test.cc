@@ -141,6 +141,53 @@ TEST(FaultInjector, GroundTruthWindowQueries) {
   EXPECT_FALSE(injector.AnyFaultActiveIn(Seconds(16), Seconds(20)));
 }
 
+// --- Rect-scoped queries: one fault, two slices ----------------------------
+
+TEST(FaultInjector, CrossPodFaultTouchesBothBorderingSlices) {
+  // Two 8x8 pods side by side; two tenants split them left/right. A single
+  // flap of the shared cross-pod cable at x=7 -> x=8 is observable from
+  // BOTH slices at once — the regression the multi-tenant cluster driver
+  // depends on for correlated fault delivery.
+  topo::MeshTopology topo(
+      topo::TopologyConfig{.pod_size_x = 8, .pod_size_y = 8, .num_pods = 2});
+  sim::Simulator simulator;
+  net::Network network(&topo, net::NetworkConfig{}, &simulator);
+  fault::FaultInjector injector(&network, {});
+
+  ASSERT_TRUE(topo.IsCrossPodBoundary(7));
+  fault::FaultEvent flap;
+  flap.kind = fault::FaultKind::kLinkFlap;
+  flap.link = topo.LinkBetween(topo.ChipAt({7, 2}), topo.ChipAt({8, 2}));
+  flap.at = Seconds(10);
+  flap.duration = Seconds(5);
+  flap.degrade_factor = 64.0;
+  injector.Apply(flap);
+
+  const topo::SubmeshRect left{0, 0, 8, 8};
+  const topo::SubmeshRect right{8, 0, 8, 8};
+  const topo::SubmeshRect far_corner{0, 4, 4, 4};
+
+  // The cable crosses the slice boundary: one endpoint in each slice.
+  EXPECT_TRUE(injector.EventTouchesRect(flap, left));
+  EXPECT_TRUE(injector.EventTouchesRect(flap, right));
+  EXPECT_FALSE(injector.EventTouchesRect(flap, far_corner));
+
+  // Rect-scoped ground truth agrees, window semantics unchanged.
+  EXPECT_TRUE(injector.AnyFaultActiveIn(Seconds(12), Seconds(13), left));
+  EXPECT_TRUE(injector.AnyFaultActiveIn(Seconds(12), Seconds(13), right));
+  EXPECT_FALSE(
+      injector.AnyFaultActiveIn(Seconds(12), Seconds(13), far_corner));
+  EXPECT_FALSE(injector.AnyFaultActiveIn(Seconds(16), Seconds(20), left));
+
+  // A chip death interior to one slice stays invisible to its neighbor.
+  fault::FaultEvent death;
+  death.kind = fault::FaultKind::kChipFailure;
+  death.chip = topo.ChipAt({2, 2});
+  death.at = Seconds(10);
+  EXPECT_TRUE(injector.EventTouchesRect(death, left));
+  EXPECT_FALSE(injector.EventTouchesRect(death, right));
+}
+
 // --- Overlapping schedules on the same link --------------------------------
 //
 // Transient heals release exactly what their fault applied (depth-counted

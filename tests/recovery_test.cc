@@ -237,7 +237,7 @@ TEST(LargestHealthySubmesh, InteriorDeadChipKeepsTheLargerCut) {
   // The carve is a rectangle, so it keeps one side of the cut through the
   // dead chip: 8x4 (or 4x8) = 32 chips, never an L-shape.
   EXPECT_EQ(rect.chips(), 32);
-  EXPECT_FALSE(rect.Contains({3, 3}));
+  EXPECT_FALSE(rect.Contains(topo::Coord{3, 3}));
 }
 
 TEST(LargestHealthySubmesh, EdgeDeadChipDropsOneRow) {

@@ -209,6 +209,50 @@ TEST(MeshTopology, LinkBetweenFindsBothDirections) {
   EXPECT_EQ(ba.to, a);
 }
 
+TEST(SubmeshRect, AreaAndPerimeterHandleEmptyRects) {
+  const SubmeshRect rect{2, 3, 4, 2};
+  EXPECT_EQ(rect.area(), 8);
+  EXPECT_EQ(rect.perimeter(), 12);
+  EXPECT_FALSE(rect.empty());
+
+  const SubmeshRect zero;
+  EXPECT_EQ(zero.area(), 0);
+  EXPECT_EQ(zero.perimeter(), 0);
+  EXPECT_TRUE(zero.empty());
+
+  const SubmeshRect negative{0, 0, -3, 4};
+  EXPECT_EQ(negative.area(), 0);
+  EXPECT_EQ(negative.perimeter(), 0);
+  EXPECT_TRUE(negative.empty());
+}
+
+TEST(SubmeshRect, ContainsRectRequiresFullEnclosure) {
+  const SubmeshRect outer{0, 0, 8, 8};
+  EXPECT_TRUE(outer.Contains(SubmeshRect{0, 0, 8, 8}));
+  EXPECT_TRUE(outer.Contains(SubmeshRect{2, 2, 4, 4}));
+  EXPECT_FALSE(outer.Contains(SubmeshRect{6, 6, 4, 4}));  // spills over
+  EXPECT_FALSE(outer.Contains(SubmeshRect{-1, 0, 4, 4}));
+  // An empty rect is contained nowhere.
+  EXPECT_FALSE(outer.Contains(SubmeshRect{3, 3, 0, 0}));
+  EXPECT_TRUE(outer.Contains(Coord{7, 7}));
+  EXPECT_FALSE(outer.Contains(Coord{8, 7}));
+}
+
+TEST(SubmeshRect, IntersectsSharesAChipNotJustAnEdge) {
+  const SubmeshRect a{0, 0, 4, 4};
+  EXPECT_TRUE(a.Intersects(SubmeshRect{3, 3, 4, 4}));  // one shared chip
+  EXPECT_TRUE(a.Intersects(a));
+  // Touching edges are adjacency, not overlap — adjacent slices co-exist.
+  EXPECT_FALSE(a.Intersects(SubmeshRect{4, 0, 4, 4}));
+  EXPECT_FALSE(a.Intersects(SubmeshRect{0, 4, 4, 4}));
+  EXPECT_FALSE(a.Intersects(SubmeshRect{5, 5, 2, 2}));
+  // Empty rects intersect nothing, not even themselves.
+  const SubmeshRect zero{1, 1, 0, 0};
+  EXPECT_FALSE(a.Intersects(zero));
+  EXPECT_FALSE(zero.Intersects(a));
+  EXPECT_FALSE(zero.Intersects(zero));
+}
+
 TEST(MeshTopology, ToStringMentionsShape) {
   const MeshTopology topo(TopologyConfig::Multipod(4));
   const std::string s = topo.ToString();
