@@ -1,0 +1,47 @@
+// Thread-local execution context for the parallel event core.
+//
+// The PDES engine (partitioned_simulator.h) drains several Simulators — one
+// per pod partition plus the caller's global lane — and code deep inside the
+// network/collectives layers must route clock reads, event scheduling and
+// traffic accounting to the lane currently executing. These slots follow the
+// repo's null-by-default observability idiom (event_observer.h,
+// trace/metrics.h): a serial run pays one thread-local load and branch.
+#pragma once
+
+namespace tpu::sim {
+
+class Simulator;
+class PartitionedSimulator;
+
+// The engine currently executing on this thread, or nullptr (serial run).
+inline PartitionedSimulator*& EngineSlot() {
+  thread_local PartitionedSimulator* engine = nullptr;
+  return engine;
+}
+inline PartitionedSimulator* CurrentEngine() { return EngineSlot(); }
+
+// Index of the partition lane this thread is currently draining, or -1 when
+// executing on the global lane (or with no engine at all).
+inline int& PartitionIndexSlot() {
+  thread_local int index = -1;
+  return index;
+}
+inline int CurrentPartitionIndex() { return PartitionIndexSlot(); }
+
+// When non-null, the Simulator that now()/Schedule/ScheduleAt calls made
+// through a Network (or any other holder of a Simulator*) should target
+// instead of the member pointer: the engine points it at the active
+// partition lane during drains and kick-offs.
+inline Simulator*& SimulatorOverrideSlot() {
+  thread_local Simulator* simulator = nullptr;
+  return simulator;
+}
+
+// Resolves the simulator an engine-agnostic component should use: the
+// thread's active lane when a PDES drain is underway, `fallback` otherwise.
+inline Simulator& ActiveSimulatorOr(Simulator* fallback) {
+  Simulator* active = SimulatorOverrideSlot();
+  return active != nullptr ? *active : *fallback;
+}
+
+}  // namespace tpu::sim

@@ -1,0 +1,269 @@
+#include "sim/partitioned_simulator.h"
+
+#include <algorithm>
+
+namespace tpu::sim {
+
+namespace {
+constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+}  // namespace
+
+PartitionedSimulator::PartitionedSimulator(Simulator* global, int partitions,
+                                           SimTime lookahead, int threads,
+                                           SimTime window)
+    : global_(global),
+      lookahead_(lookahead),
+      window_(window == 0.0 ? lookahead : window),
+      threads_(threads) {
+  TPU_CHECK(global != nullptr);
+  TPU_CHECK_GE(partitions, 1);
+  TPU_CHECK_GT(lookahead, 0.0)
+      << "cross-partition lookahead must be strictly positive: with zero "
+         "lookahead a partition can affect its neighbours at the current "
+         "instant and no conservative window exists";
+  TPU_CHECK_GT(window_, 0.0);
+  TPU_CHECK_LE(window_, lookahead_)
+      << "window wider than the lookahead floor breaks conservatism: events "
+         "issued inside a window could target times before the next boundary";
+  TPU_CHECK_GE(threads, 1);
+  lanes_.reserve(partitions);
+  for (int p = 0; p < partitions; ++p) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  pool_ = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(std::min(threads, partitions)));
+}
+
+PartitionedSimulator::~PartitionedSimulator() = default;
+
+void PartitionedSimulator::Post(int p, SimTime when, std::function<void()> fn) {
+  TPU_CHECK_EQ(CurrentPartitionIndex(), -1)
+      << "Post is a coordinator-side API; use ScheduleCross (or the lane's "
+         "own simulator) from inside a partition drain";
+  LaneAt(p).sim.ScheduleAt(when, Simulator::Callback(std::move(fn)));
+}
+
+void PartitionedSimulator::FanOut(std::vector<std::function<void()>> starters) {
+  TPU_CHECK_EQ(static_cast<int>(starters.size()), partitions());
+  TPU_CHECK_EQ(CurrentPartitionIndex(), -1)
+      << "fan-out must originate on the global lane";
+  const SimTime now = global_->now();
+  for (int p = 0; p < partitions(); ++p) {
+    if (!starters[p]) continue;
+    ScopedLaneContext context(this, p);
+    LaneAt(p).sim.ExecuteAt(now, starters[p]);
+  }
+  fanout_pending_ = true;
+}
+
+void PartitionedSimulator::ScheduleCross(int target, SimTime when,
+                                         std::function<void()> fn) {
+  const int src = CurrentPartitionIndex();
+  TPU_CHECK_GE(src, 0) << "ScheduleCross must be called from a partition "
+                          "drain; coordinator code uses Post";
+  TPU_CHECK_GE(target, 0);
+  TPU_CHECK_LT(target, partitions());
+  if (target == src) {
+    LaneAt(src).sim.ScheduleAt(when, Simulator::Callback(std::move(fn)));
+    return;
+  }
+  TPU_CHECK_GE(when, current_window_end_)
+      << "conservative lookahead violated: partition " << src
+      << " scheduled a cross-partition event inside the current window "
+         "(target times must be >= the window boundary)";
+  Lane& lane = LaneAt(src);
+  lane.cross.push_back(
+      Lane::CrossRecord{target, when, lane.cross_seq++, std::move(fn)});
+}
+
+void PartitionedSimulator::DeferJoinNotify(std::shared_ptr<Barrier> barrier) {
+  const int src = CurrentPartitionIndex();
+  TPU_CHECK_GE(src, 0)
+      << "DeferJoinNotify must be called from a partition drain; global-lane "
+         "code notifies barriers inline";
+  TPU_CHECK(barrier != nullptr);
+  Lane& lane = LaneAt(src);
+  const SimTime when = lane.sim.now();
+  lane.joins.push_back(Lane::JoinRecord{std::move(barrier), when});
+}
+
+bool PartitionedSimulator::DrainPartitions(SimTime bound) {
+  // Fast path: skip the pool dispatch when no lane has an event inside the
+  // window (common while a cross-partition phase runs on the global lane).
+  bool pending = false;
+  for (const auto& lane : lanes_) {
+    if (!lane->sim.empty() && lane->sim.NextEventTime() < bound) {
+      pending = true;
+      break;
+    }
+  }
+  if (!pending) return false;
+
+  ++barrier_waits_;
+  pool_->ParallelFor(lanes_.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t p = begin; p < end; ++p) {
+      Lane& lane = *lanes_[p];
+      ScopedLaneContext context(this, static_cast<int>(p));
+      lane.processed_last_round = lane.sim.RunBefore(bound);
+    }
+  });
+  bool any = false;
+  for (const auto& lane : lanes_) {
+    any = any || lane->processed_last_round > 0;
+  }
+  return any;
+}
+
+bool PartitionedSimulator::MergeJoinNotifications() {
+  bool any = false;
+  for (const auto& lane_ptr : lanes_) {
+    Lane& lane = *lane_ptr;
+    for (Lane::JoinRecord& record : lane.joins) {
+      any = true;
+      ++join_notifications_;
+      Barrier* key = record.barrier.get();
+      auto [it, inserted] = open_joins_.try_emplace(key);
+      OpenJoin& join = it->second;
+      if (inserted) join.barrier = record.barrier;
+      join.max_when = std::max(join.max_when, record.when);
+      if (key->EngineDecrement()) {
+        const SimTime when = join.max_when;
+        TPU_CHECK_GE(when, global_->now())
+            << "join resolved behind the global clock — a fan-out failed to "
+               "pause the global drain";
+        global_->ScheduleEngineAt(when, key->TakeOnAllDone());
+        open_joins_.erase(it);
+      }
+    }
+    lane.joins.clear();
+  }
+  return any;
+}
+
+void PartitionedSimulator::DeliverCrossMessages() {
+  struct Keyed {
+    SimTime when;
+    std::uint64_t seq;
+    int src;
+    Lane::CrossRecord* record;
+  };
+  std::vector<Keyed> batch;
+  for (int src = 0; src < partitions(); ++src) {
+    for (Lane::CrossRecord& record : lanes_[src]->cross) {
+      batch.push_back(Keyed{record.when, record.seq, src, &record});
+    }
+  }
+  if (batch.empty()) return;
+  std::sort(batch.begin(), batch.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.src < b.src;
+  });
+  for (Keyed& entry : batch) {
+    // Delivered as an engine-class event: the serial equivalent schedules
+    // the payload exactly once on its home lane, which the wrapped counted
+    // schedule inside `fn` (if any) still performs; the delivery envelope
+    // itself is protocol bookkeeping.
+    LaneAt(entry.record->target)
+        .sim.ScheduleEngineAt(entry.record->when,
+                              Simulator::Callback(std::move(entry.record->fn)));
+    ++cross_messages_;
+  }
+  for (const auto& lane : lanes_) {
+    lane->cross.clear();
+  }
+}
+
+SimTime PartitionedSimulator::Run() {
+  TPU_CHECK_EQ(CurrentPartitionIndex(), -1)
+      << "PartitionedSimulator::Run must be called from the global lane";
+  ScopedEngine engine_scope(this);
+  for (;;) {
+    DeliverCrossMessages();
+
+    SimTime partition_next = kInf;
+    for (const auto& lane : lanes_) {
+      if (!lane->sim.empty()) {
+        partition_next = std::min(partition_next, lane->sim.NextEventTime());
+      }
+    }
+
+    if (partition_next == kInf) {
+      // No partition-side work pending: the global lane can run free (still
+      // pausing at fan-outs, which re-seed the partitions).
+      fanout_pending_ = false;
+      global_->RunBefore(kInf, &fanout_pending_);
+      if (fanout_pending_) continue;
+      break;  // everything drained
+    }
+
+    SimTime start = partition_next;
+    if (!global_->empty()) start = std::min(start, global_->NextEventTime());
+    current_window_end_ = start + window_;
+    ++windows_;
+
+    // Sub-rounds until the window is quiescent: partitions first (so join
+    // completions are known before the global clock moves), then the merge,
+    // then the global lane — which pauses whenever it fans new work out.
+    for (;;) {
+      bool progress = DrainPartitions(current_window_end_);
+      progress = MergeJoinNotifications() || progress;
+      fanout_pending_ = false;
+      progress = global_->RunBefore(current_window_end_, &fanout_pending_) > 0 ||
+                 progress;
+      if (!progress && !fanout_pending_) break;
+    }
+    current_window_end_ = kInf;
+  }
+  // Joins still open at quiescence would not have completed serially either
+  // (their remaining notifications never happened); drop the bookkeeping.
+  open_joins_.clear();
+  return global_->now();
+}
+
+std::size_t PartitionedSimulator::TotalQueueDepth() const {
+  std::size_t depth = global_->queue_depth();
+  for (const auto& lane : lanes_) depth += lane->sim.queue_depth();
+  return depth;
+}
+
+std::uint64_t PartitionedSimulator::TotalEventsProcessed() const {
+  std::uint64_t total = global_->events_processed();
+  for (const auto& lane : lanes_) total += lane->sim.events_processed();
+  return total;
+}
+
+std::uint64_t PartitionedSimulator::TotalEventsScheduled() const {
+  std::uint64_t total = global_->events_scheduled();
+  for (const auto& lane : lanes_) total += lane->sim.events_scheduled();
+  return total;
+}
+
+std::uint64_t PartitionedSimulator::TotalEngineEvents() const {
+  std::uint64_t total = global_->engine_events_processed();
+  for (const auto& lane : lanes_) total += lane->sim.engine_events_processed();
+  return total;
+}
+
+PdesStats PartitionedSimulator::Stats() const {
+  PdesStats stats;
+  stats.engaged = true;
+  stats.partitions = partitions();
+  stats.threads = threads_;
+  stats.lookahead = lookahead_;
+  stats.window = window_;
+  stats.windows = windows_;
+  stats.barrier_waits = barrier_waits_;
+  stats.cross_messages = cross_messages_;
+  stats.join_notifications = join_notifications_;
+  stats.events_processed = TotalEventsProcessed();
+  stats.events_scheduled = TotalEventsScheduled();
+  stats.engine_events = TotalEngineEvents();
+  stats.partition_events_processed.reserve(lanes_.size());
+  for (const auto& lane : lanes_) {
+    stats.partition_events_processed.push_back(lane->sim.events_processed());
+  }
+  return stats;
+}
+
+}  // namespace tpu::sim
